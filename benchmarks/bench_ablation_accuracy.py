@@ -1,0 +1,66 @@
+"""Ablation — impact of PACE prediction accuracy on grid load balancing.
+
+The paper's first listed future enhancement: "the impact of the accuracy of
+the PACE predictive data on grid load balancing and scheduling".  We sweep
+multiplicative log-normal noise on the *predictions* (schedules and
+dispatch decisions use noisy values; actual runtimes stay exact) and report
+the degradation of ε, υ and β in the experiment-3 configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import table2_experiments
+from repro.experiments.runner import run_experiment
+from repro.utils.tables import render_table
+
+NOISE_LEVELS = [0.0, 0.1, 0.3, 0.6]
+REQUESTS = 60
+
+
+def _run(noise: float):
+    cfg = dataclasses.replace(
+        table2_experiments(request_count=REQUESTS)[2],
+        name=f"accuracy-{noise}",
+        prediction_noise=noise,
+        runtime_noise=0.0,
+    )
+    return run_experiment(cfg)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {noise: _run(noise) for noise in NOISE_LEVELS}
+
+
+def test_accuracy_sweep_report(sweep, capsys):
+    rows = []
+    for noise, result in sweep.items():
+        m = result.metrics.total
+        rows.append(
+            [f"σ={noise}", round(m.epsilon), round(m.upsilon_percent),
+             round(m.beta_percent)]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["prediction noise", "ε (s)", "υ (%)", "β (%)"],
+                rows,
+                title="Ablation: prediction accuracy vs load balancing (exp-3 config)",
+            )
+        )
+    # Exact predictions must not be materially beaten by heavily noisy ones
+    # on the deadline metric (small-sample jitter aside).
+    exact = sweep[0.0].metrics.total.epsilon
+    noisy = sweep[NOISE_LEVELS[-1]].metrics.total.epsilon
+    assert exact >= noisy - 20.0
+
+
+@pytest.mark.parametrize("noise", [0.0, 0.3], ids=["exact", "noisy"])
+def test_bench_noisy_run(benchmark, noise):
+    result = benchmark.pedantic(_run, args=(noise,), rounds=1, iterations=1)
+    assert result.metrics.total.n_tasks == REQUESTS

@@ -1,0 +1,97 @@
+"""Extension — NWS-style load forecasting for prediction correction.
+
+The paper assumes static resource information ("The PACE resource model
+uses static performance information ... While this has an impact on the
+accuracy of predictive results", §1) and lists NWS integration as future
+work.  This bench quantifies what that integration buys: hosts carry a
+time-varying background load (an AR(1) process with occasional spikes);
+a task launched at load ℓ runs (1 + ℓ)× slower.  We compare execution-time
+estimates made
+
+* **statically** — the paper's setting: predicted time, no load term;
+* **forecast-corrected** — predicted time × the
+  :class:`~repro.pace.forecast.LoadTracker` slowdown forecast;
+* **oracle** — predicted time × the true (unknowable) launch-time load.
+
+The adaptive forecaster should recover most of the gap between static and
+oracle estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pace.forecast import LoadTracker
+from repro.utils.tables import render_table
+
+SAMPLES = 400
+PREDICTED_SECONDS = 30.0
+
+
+def _load_trace(rng: np.random.Generator, n: int) -> np.ndarray:
+    """AR(1) background load with occasional spikes, clamped at 0."""
+    load = np.empty(n)
+    level = 0.5
+    for i in range(n):
+        level = 0.9 * level + 0.1 * 0.5 + float(rng.normal(0, 0.08))
+        spike = 2.0 if rng.random() < 0.03 else 0.0
+        load[i] = max(level + spike, 0.0)
+    return load
+
+
+def _estimate_errors(seed: int = 0) -> dict[str, float]:
+    rng = np.random.default_rng(seed)
+    trace = _load_trace(rng, SAMPLES)
+    tracker = LoadTracker()
+    static_err, forecast_err, oracle_err = [], [], []
+    for load in trace:
+        actual = PREDICTED_SECONDS * (1.0 + load)
+        static_err.append(abs(PREDICTED_SECONDS - actual))
+        forecast_err.append(abs(PREDICTED_SECONDS * tracker.slowdown() - actual))
+        oracle_err.append(0.0)
+        tracker.observe(float(load))
+    return {
+        "static": float(np.mean(static_err)),
+        "forecast": float(np.mean(forecast_err)),
+        "oracle": float(np.mean(oracle_err)),
+    }
+
+
+def test_forecast_report(capsys):
+    errors = _estimate_errors()
+    rows = [[k, round(v, 2)] for k, v in errors.items()]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["estimator", "mean |error| (s)"],
+                rows,
+                title=(
+                    "Extension: execution-time estimation under dynamic load "
+                    f"(predicted {PREDICTED_SECONDS:.0f}s task, {SAMPLES} launches)"
+                ),
+            )
+        )
+    # Forecast correction must recover most of the static-estimate error.
+    assert errors["forecast"] < 0.5 * errors["static"]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_forecast_beats_static_across_seeds(seed):
+    errors = _estimate_errors(seed)
+    assert errors["forecast"] < errors["static"]
+
+
+def test_bench_tracker_update(benchmark):
+    """Per-sample cost of the adaptive forecaster (runs at monitor cadence)."""
+    tracker = LoadTracker()
+    rng = np.random.default_rng(3)
+    samples = iter(_load_trace(rng, 100_000))
+
+    def observe():
+        tracker.observe(float(next(samples)))
+        return tracker.slowdown()
+
+    value = benchmark(observe)
+    assert value >= 1.0

@@ -1,0 +1,119 @@
+"""Ablation — GA design choices: idle weighting, memetic step, budget.
+
+Three DESIGN.md call-outs measured on a single overloaded resource (the
+regime where scheduling quality matters):
+
+* **idle weighting** — eq. (8)'s front-loaded idle penalty (linear) vs
+  unweighted vs exponential;
+* **memetic greedy re-mapping** — our compensation for the generation
+  budget an event-driven run has (the paper's GA evolved continuously);
+* **generations per event** — solution quality vs computational budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pace.evaluation import EvaluationEngine
+from repro.pace.hardware import SUN_SPARC_STATION_2
+from repro.pace.resource import ResourceModel
+from repro.pace.workloads import paper_application_specs
+from repro.scheduling.ga import GAConfig
+from repro.scheduling.scheduler import LocalScheduler, SchedulingPolicy
+from repro.sim.engine import Engine
+from repro.tasks.task import Environment, TaskRequest
+from repro.utils.tables import render_table
+
+TASKS = 40
+
+
+def _run_overloaded(
+    *, generations: int = 10, idle_weighting: str = "linear", memetic: bool = True
+):
+    """40 tasks at 1/s onto one slow 16-node resource; returns summary."""
+    specs = paper_application_specs()
+    names = list(specs)
+    sim = Engine()
+    scheduler = LocalScheduler(
+        sim,
+        ResourceModel.homogeneous("slow", SUN_SPARC_STATION_2, 16),
+        EvaluationEngine(),
+        policy=SchedulingPolicy.GA,
+        rng=np.random.default_rng(13),
+        generations_per_event=generations,
+        ga_config=GAConfig(idle_weighting=idle_weighting, memetic=memetic),
+    )
+    workload = np.random.default_rng(99)
+    for i in range(TASKS):
+        spec = specs[names[i % len(names)]]
+        scheduler.submit(
+            TaskRequest(
+                application=spec.model,
+                environment=Environment.TEST,
+                deadline=sim.now + float(workload.uniform(*spec.deadline_bounds)),
+                submit_time=sim.now,
+            )
+        )
+        sim.run_until(sim.now + 1.0)
+    sim.run()
+    done = scheduler.executor.completed_tasks
+    makespan = max(t.completion_time for t in done)
+    busy = sum(iv.duration for iv in scheduler.executor.busy_intervals)
+    return {
+        "epsilon": float(np.mean([t.advance_time for t in done])),
+        "makespan": makespan,
+        "utilisation": busy / (16 * makespan),
+    }
+
+
+class TestIdleWeighting:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {
+            w: _run_overloaded(idle_weighting=w)
+            for w in ("linear", "uniform", "exponential")
+        }
+
+    def test_report(self, sweep, capsys):
+        rows = [
+            [w, round(r["epsilon"]), round(r["makespan"]),
+             round(100 * r["utilisation"])]
+            for w, r in sweep.items()
+        ]
+        with capsys.disabled():
+            print()
+            print(
+                render_table(
+                    ["idle weighting", "ε (s)", "makespan (s)", "util (%)"],
+                    rows,
+                    title="Ablation: idle-time weighting (overloaded resource)",
+                )
+            )
+        for r in sweep.values():
+            assert r["utilisation"] > 0.5
+
+
+class TestMemetic:
+    def test_memetic_improves_packing(self, capsys):
+        with_memetic = _run_overloaded(memetic=True)
+        without = _run_overloaded(memetic=False)
+        with capsys.disabled():
+            print()
+            print(
+                "Ablation: memetic greedy re-mapping — "
+                f"makespan {with_memetic['makespan']:.0f}s vs "
+                f"{without['makespan']:.0f}s without; "
+                f"ε {with_memetic['epsilon']:.0f}s vs {without['epsilon']:.0f}s"
+            )
+        assert with_memetic["makespan"] <= without["makespan"] * 1.05
+
+
+class TestGenerationBudget:
+    @pytest.mark.parametrize("generations", [2, 10, 25])
+    def test_bench_generations(self, benchmark, generations):
+        result = benchmark.pedantic(
+            _run_overloaded, kwargs={"generations": generations}, rounds=1,
+            iterations=1,
+        )
+        assert result["utilisation"] > 0.3

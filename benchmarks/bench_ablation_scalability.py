@@ -1,0 +1,73 @@
+"""Ablation — system scalability over the agent count.
+
+The paper's closing future work: "Experiments to test the scalability of
+the system will be carried out on a grid test-bed being built at Warwick."
+We sweep generated grids of 6 → 24 agents (complete ternary trees of mixed
+platforms) under the experiment-3 configuration with a workload scaled to
+5 requests per agent, and report per-request message cost and balancing.
+Locality is the design's scalability argument — requests and advertisements
+only travel between neighbours — so messages per request should grow far
+slower than the agent count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.casestudy import scaled_topology
+from repro.experiments.config import table2_experiments
+from repro.experiments.runner import run_experiment
+from repro.utils.tables import render_table
+
+AGENT_COUNTS = [6, 12, 24]
+
+
+def _run(n_agents: int):
+    topology = scaled_topology(n_agents, nproc=8)
+    cfg = dataclasses.replace(
+        table2_experiments(request_count=5 * n_agents)[2],
+        name=f"scale-{n_agents}",
+    )
+    return run_experiment(cfg, topology)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {n: _run(n) for n in AGENT_COUNTS}
+
+
+def test_scalability_report(sweep, capsys):
+    rows = []
+    for n, result in sweep.items():
+        m = result.metrics.total
+        per_request = result.messages_sent / result.config.request_count
+        rows.append(
+            [n, result.config.request_count, round(per_request, 1),
+             round(m.epsilon), round(m.beta_percent)]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["agents", "requests", "msgs/request", "ε (s)", "β (%)"],
+                rows,
+                title="Ablation: scalability over agent count (exp-3 config)",
+            )
+        )
+    small = sweep[AGENT_COUNTS[0]]
+    large = sweep[AGENT_COUNTS[-1]]
+    ratio_agents = AGENT_COUNTS[-1] / AGENT_COUNTS[0]
+    ratio_msgs = (
+        large.messages_sent / large.config.request_count
+    ) / (small.messages_sent / small.config.request_count)
+    # Neighbour-local advertisement: per-request message cost must grow
+    # sublinearly in the agent count.
+    assert ratio_msgs < ratio_agents
+
+
+@pytest.mark.parametrize("n_agents", AGENT_COUNTS)
+def test_bench_scaled_grid(benchmark, n_agents):
+    result = benchmark.pedantic(_run, args=(n_agents,), rounds=1, iterations=1)
+    assert result.metrics.total.n_tasks == 5 * n_agents

@@ -1,0 +1,104 @@
+"""Extension — hierarchy topology: how the tree's shape affects balancing.
+
+"Each agent is only aware of neighbouring agents and service advertisement
+and discovery requests are only processed among neighbouring agents"
+(§3.1) — so the hierarchy's *shape* bounds what any agent can see.  This
+bench runs the experiment-3 configuration over the same 12 resources wired
+three ways:
+
+* **star** — every agent a direct child of S1 (full visibility at the head,
+  one hop from anywhere to anywhere through it);
+* **balanced** — the case study's tree (depth 3);
+* **chain** — S1—S2—…—S12 (visibility limited to two neighbours; requests
+  from the tail crawl hop by hop).
+
+Expected: the star wins on dispatch quality (freshest global view) at the
+cost of concentrating every escalation on the head; the chain pays in hops
+and staleness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import pytest
+
+from repro.experiments.casestudy import (
+    CASE_STUDY_PLATFORMS,
+    CASE_STUDY_TREE,
+    GridTopology,
+)
+from repro.experiments.config import table2_experiments
+from repro.experiments.runner import run_experiment
+from repro.utils.tables import render_table
+
+REQUESTS = 60
+NAMES = [f"S{i}" for i in range(1, 13)]
+
+
+def _topology(tree: Dict[str, Optional[str]]) -> GridTopology:
+    return GridTopology(
+        platforms=dict(CASE_STUDY_PLATFORMS),
+        parent_of=tree,
+        nproc={name: 16 for name in NAMES},
+    )
+
+
+TREES: Dict[str, Dict[str, Optional[str]]] = {
+    "star": {name: (None if name == "S1" else "S1") for name in NAMES},
+    "balanced": dict(CASE_STUDY_TREE),
+    "chain": {
+        name: (None if i == 0 else NAMES[i - 1]) for i, name in enumerate(NAMES)
+    },
+}
+
+
+def _run(tree_name: str):
+    cfg = dataclasses.replace(
+        table2_experiments(request_count=REQUESTS)[2],
+        name=f"topology-{tree_name}",
+    )
+    return run_experiment(cfg, _topology(TREES[tree_name]))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {name: _run(name) for name in TREES}
+
+
+def test_topology_report(sweep, capsys):
+    rows = []
+    for name, result in sweep.items():
+        m = result.metrics.total
+        head_share = (
+            result.agent_stats["S1"].requests_seen
+            / sum(s.requests_seen for s in result.agent_stats.values())
+        )
+        rows.append(
+            [name, round(m.epsilon), round(m.beta_percent),
+             result.messages_sent, f"{head_share:.0%}"]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["topology", "ε (s)", "β (%)", "messages", "head's request share"],
+                rows,
+                title="Extension: hierarchy topology (exp-3 config, 60 requests)",
+            )
+        )
+    # The head sees a strictly larger share of traffic under the star.
+    share = {
+        name: result.agent_stats["S1"].requests_seen for name, result in sweep.items()
+    }
+    assert share["star"] >= share["balanced"]
+    # Every topology still executes the full workload.
+    for result in sweep.values():
+        assert result.metrics.total.n_tasks == REQUESTS
+
+
+@pytest.mark.parametrize("tree_name", list(TREES))
+def test_bench_topology(benchmark, tree_name):
+    result = benchmark.pedantic(_run, args=(tree_name,), rounds=1, iterations=1)
+    assert result.metrics.total.n_tasks == REQUESTS

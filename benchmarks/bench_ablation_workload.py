@@ -1,0 +1,112 @@
+"""Extension — workload robustness: arrival process, tightness, rate.
+
+The paper's workload is metronomic (exactly one request per second) with
+deadlines drawn uniformly from each application's Table 1 domain.  Real
+portals are burstier and users' deadlines vary in tightness.  Three sweeps
+over the experiment-3 configuration:
+
+* **arrival process** — uniform (paper) vs Poisson at the same mean rate;
+* **deadline tightness** — Table 1 offsets scaled ×0.5 / ×1 / ×2;
+* **arrival rate** — 2 s / 1 s (paper) / 0.5 s intervals: under-loaded,
+  the paper's point, and saturated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import pytest
+
+from repro.experiments.casestudy import case_study_topology
+from repro.experiments.config import table2_experiments
+from repro.experiments.runner import run_experiment
+from repro.experiments.workload import generate_workload
+from repro.pace.workloads import paper_application_specs
+from repro.utils.tables import render_table
+
+REQUESTS = 60
+
+
+def _run(*, arrival: str = "uniform", deadline_scale: float = 1.0,
+         interval: float = 1.0):
+    topo = case_study_topology()
+    cfg = dataclasses.replace(
+        table2_experiments(request_count=REQUESTS)[2],
+        name=f"workload-{arrival}-{deadline_scale}-{interval}",
+        request_interval=interval,
+    )
+    workload = generate_workload(
+        topo.agent_names,
+        paper_application_specs(),
+        count=REQUESTS,
+        interval=interval,
+        master_seed=cfg.master_seed,
+        arrival=arrival,
+        deadline_scale=deadline_scale,
+    )
+    return run_experiment(cfg, topo, workload=workload)
+
+
+def _row(label: str, result) -> List:
+    m = result.metrics.total
+    met = sum(1 for r in result.records if r.met_deadline)
+    return [label, round(m.epsilon), round(m.beta_percent),
+            f"{met}/{REQUESTS}"]
+
+
+def test_arrival_process_report(capsys):
+    uniform = _run(arrival="uniform")
+    poisson = _run(arrival="poisson")
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["arrivals", "ε (s)", "β (%)", "deadlines met"],
+            [_row("uniform (paper)", uniform), _row("poisson", poisson)],
+            title="Ablation: arrival process (exp-3 config)",
+        ))
+    assert uniform.metrics.total.n_tasks == poisson.metrics.total.n_tasks == REQUESTS
+
+
+def test_deadline_tightness_report(capsys):
+    runs = {scale: _run(deadline_scale=scale) for scale in (0.5, 1.0, 2.0)}
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["deadline scale", "ε (s)", "β (%)", "deadlines met"],
+            [_row(f"×{scale}", result) for scale, result in runs.items()],
+            title="Ablation: deadline tightness (exp-3 config)",
+        ))
+    met = {
+        scale: sum(1 for r in result.records if r.met_deadline)
+        for scale, result in runs.items()
+    }
+    # Looser deadlines can only help the hit rate.
+    assert met[2.0] >= met[0.5]
+    # Tighter deadlines force more remote dispatch.
+    forwards = {
+        scale: sum(s.forwarded for s in result.agent_stats.values())
+        for scale, result in runs.items()
+    }
+    assert forwards[0.5] >= forwards[2.0]
+
+
+def test_arrival_rate_report(capsys):
+    runs = {interval: _run(interval=interval) for interval in (2.0, 1.0, 0.5)}
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["interval (s)", "ε (s)", "β (%)", "deadlines met"],
+            [_row(f"{interval}", result) for interval, result in runs.items()],
+            title="Ablation: arrival rate (exp-3 config)",
+        ))
+    # Heavier load cannot improve average slack.
+    assert runs[2.0].metrics.total.epsilon >= runs[0.5].metrics.total.epsilon
+
+
+@pytest.mark.parametrize("arrival", ["uniform", "poisson"])
+def test_bench_arrival(benchmark, arrival):
+    result = benchmark.pedantic(
+        _run, kwargs={"arrival": arrival}, rounds=1, iterations=1
+    )
+    assert result.metrics.total.n_tasks == REQUESTS

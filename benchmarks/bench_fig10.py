@@ -1,0 +1,35 @@
+"""Figure 10 — trends in the load-balancing level β across experiments 1→3.
+
+Prints the per-agent β series.  The figure's headline conclusion — "the GA
+scheduling contributes more to local grid load balancing and agents
+contribute more to global grid load balancing" — is asserted on the grid
+total: the experiment-2→3 jump (agents) exceeds the 1→2 jump (GA).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import figure10_series
+from repro.metrics.reporting import render_figure_series
+
+
+def test_figure10_series(table3_results, capsys):
+    series = figure10_series(table3_results)
+    with capsys.disabled():
+        print()
+        print(
+            render_figure_series(
+                [r.metrics for r in table3_results],
+                "beta",
+                title="Figure 10: load balancing level β (%)",
+            )
+        )
+    total = series["Total"]
+    assert total[2] > total[0], "overall balance must improve with both mechanisms"
+    assert (total[2] - total[1]) > (total[1] - total[0]), (
+        "agents must dominate the global balance improvement"
+    )
+
+
+def test_bench_series_extraction(benchmark, table3_results):
+    series = benchmark(figure10_series, table3_results)
+    assert len(series) == 13

@@ -1,0 +1,35 @@
+"""Figure 9 — trends in resource utilisation υ across experiments 1→3.
+
+Prints the per-agent υ series.  The figure's headline: lightly-loaded fast
+platforms (S1, S2) gain utilisation chiefly from the agent mechanism, which
+dispatches more work to them in experiment 3.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import figure9_series
+from repro.metrics.reporting import render_figure_series
+
+
+def test_figure9_series(table3_results, capsys):
+    series = figure9_series(table3_results)
+    with capsys.disabled():
+        print()
+        print(
+            render_figure_series(
+                [r.metrics for r in table3_results],
+                "upsilon",
+                title="Figure 9: resource utilisation rate υ (%)",
+            )
+        )
+    for fast in ("S1", "S2"):
+        values = series[fast]
+        assert values[2] > values[1], (
+            "agents must raise the fast platforms' utilisation"
+        )
+    assert all(0.0 <= v <= 100.0 for vals in series.values() for v in vals)
+
+
+def test_bench_series_extraction(benchmark, table3_results):
+    series = benchmark(figure9_series, table3_results)
+    assert len(series) == 13

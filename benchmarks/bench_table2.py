@@ -1,0 +1,37 @@
+"""Table 2 — the experiment design matrix.
+
+Validates the three configurations (FIFO / GA / GA+agents), prints the
+matrix in the paper's layout, and benchmarks full grid assembly — 12
+agents, schedulers, executors, monitors and the hierarchy — which is the
+fixed cost every experiment pays before its first request.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import table2_experiments
+from repro.experiments.runner import build_grid
+from repro.scheduling.scheduler import SchedulingPolicy
+from repro.utils.tables import render_table
+
+
+def test_table2_design_matrix(capsys):
+    e1, e2, e3 = table2_experiments()
+    assert e1.policy is SchedulingPolicy.FIFO and not e1.agents_enabled
+    assert e2.policy is SchedulingPolicy.GA and not e2.agents_enabled
+    assert e3.policy is SchedulingPolicy.GA and e3.agents_enabled
+    rows = [
+        ["FIFO Algorithm", "x", "", ""],
+        ["GA Algorithm", "", "x", "x"],
+        ["Agent-based Service Discovery", "", "", "x"],
+    ]
+    with capsys.disabled():
+        print()
+        print(render_table(["", "1", "2", "3"], rows, title="Table 2: experiment design"))
+
+
+def test_bench_grid_assembly(benchmark):
+    """Cost of wiring the full 12-agent case-study system."""
+    cfg = table2_experiments()[2]
+    system = benchmark(build_grid, cfg)
+    assert len(system.agents) == 12
+    assert system.hierarchy.head.name == "S1"

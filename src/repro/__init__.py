@@ -1,0 +1,24 @@
+"""Reproduction of Cao et al., *Agent-Based Grid Load Balancing Using
+Performance-Driven Task Scheduling* (IPPS 2003).
+
+The package couples a GA-based, performance-driven local grid scheduler
+(:mod:`repro.scheduling`) with a hierarchy of homogeneous agents doing
+service advertisement and discovery (:mod:`repro.agents`), both driven by a
+PACE-style performance-prediction substrate (:mod:`repro.pace`), running in
+virtual time (:mod:`repro.sim`).  The §4 case study is reproduced end to
+end by :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> from repro.experiments import table2_experiments, run_experiment
+>>> cfg = table2_experiments(request_count=30)[2]   # GA + agents, small
+>>> result = run_experiment(cfg)
+>>> result.metrics.total.n_tasks
+30
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

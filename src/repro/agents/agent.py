@@ -1,0 +1,402 @@
+"""The grid agent (§3) — one homogeneous agent per local grid resource.
+
+"Each agent provides a high-level representation of each local scheduler
+and therefore characterises these local resources as high performance
+computing service providers in the wider grid environment."  Agents are
+*homogeneous*: every agent runs the same code and "can be reconfigured with
+different roles at run time" — an agent's place in the hierarchy (head,
+middle, leaf) is just its parent/children wiring.
+
+An agent:
+
+* fronts exactly one :class:`~repro.scheduling.scheduler.LocalScheduler`;
+* keeps a registry of neighbours' advertised :class:`ServiceInfo`
+  (refreshed by its advertisement strategy);
+* answers PULL messages with its own fresh service information;
+* routes REQUEST messages via the discovery procedure — own service first,
+  then the best advertised neighbour match, then escalation (§3.1);
+* returns RESULT messages to the submitting portal when execution
+  completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.agents.advertisement import AdvertisementStrategy, NoAdvertisement
+from repro.net.payloads import RequestEnvelope, TaskResult
+from repro.agents.discovery import Decision, DiscoveryConfig, DiscoveryOutcome, discover
+from repro.agents.matchmaking import MatchResult, match_request
+from repro.agents.service_info import ServiceInfo
+from repro.errors import AgentError, TransportError
+from repro.net.message import Endpoint, Message, MessageKind
+from repro.net.transport import Transport
+from repro.pace.hardware import DEFAULT_CATALOGUE, HardwareCatalogue
+from repro.scheduling.scheduler import LocalScheduler
+from repro.tasks.task import Task, TaskRequest
+
+__all__ = ["RequestEnvelope", "TaskResult", "Agent"]
+
+
+# RequestEnvelope and TaskResult are protocol payloads shared with the
+# stand-alone scheduler endpoint; they live in repro.net.payloads and are
+# re-exported here under their paper-facing home.
+
+
+@dataclass
+class AgentStats:
+    """Counters for one agent's routing activity."""
+
+    requests_seen: int = 0
+    submitted_locally: int = 0
+    forwarded: int = 0
+    escalated: int = 0
+    rejected: int = 0
+    pulls_answered: int = 0
+    advertisements_received: int = 0
+    send_failures: int = 0
+
+
+class Agent:
+    """One grid agent fronting one local scheduler.
+
+    Parameters
+    ----------
+    name:
+        Agent name (``"S1"`` ... in the case study).
+    endpoint:
+        The agent's (address, port) identity.
+    scheduler:
+        The local scheduler this agent represents.
+    transport:
+        Message transport shared by the grid.
+    catalogue:
+        Hardware catalogue for interpreting advertised hardware types.
+    discovery_config:
+        Discovery policy knobs.
+    advertisement:
+        Advertisement strategy; default :class:`NoAdvertisement` (the
+        experiments install :class:`PeriodicPullStrategy` explicitly).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        endpoint: Endpoint,
+        scheduler: LocalScheduler,
+        transport: Transport,
+        *,
+        catalogue: HardwareCatalogue = DEFAULT_CATALOGUE,
+        discovery_config: DiscoveryConfig = DiscoveryConfig(),
+        advertisement: Optional[AdvertisementStrategy] = None,
+    ) -> None:
+        if not name:
+            raise AgentError("agent name must be non-empty")
+        self._name = name
+        self._endpoint = endpoint
+        self._scheduler = scheduler
+        self._transport = transport
+        self._catalogue = catalogue
+        self._discovery_config = discovery_config
+        self._advertisement = advertisement or NoAdvertisement()
+        self._parent: Optional["Agent"] = None
+        self._children: List["Agent"] = []
+        self._registry: Dict[Endpoint, ServiceInfo] = {}
+        self._reply_to: Dict[int, RequestEnvelope] = {}  # task id -> envelope
+        self._stats = AgentStats()
+        self._outcomes: List[Tuple[int, DiscoveryOutcome]] = []
+        transport.register(endpoint, self._handle_message)
+        scheduler.on_result(self._handle_local_completion)
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def name(self) -> str:
+        """The agent's name."""
+        return self._name
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """The agent's transport identity."""
+        return self._endpoint
+
+    @property
+    def scheduler(self) -> LocalScheduler:
+        """The fronted local scheduler."""
+        return self._scheduler
+
+    @property
+    def sim(self):
+        """The shared discrete-event engine."""
+        return self._scheduler.sim
+
+    @property
+    def parent(self) -> Optional["Agent"]:
+        """The upper agent, or ``None`` at the hierarchy head."""
+        return self._parent
+
+    @property
+    def children(self) -> List["Agent"]:
+        """Lower agents (copy)."""
+        return list(self._children)
+
+    @property
+    def is_head(self) -> bool:
+        """Whether this agent heads the hierarchy."""
+        return self._parent is None
+
+    @property
+    def stats(self) -> AgentStats:
+        """Routing counters."""
+        return self._stats
+
+    @property
+    def registry(self) -> Dict[Endpoint, ServiceInfo]:
+        """Advertised neighbour service information (copy)."""
+        return dict(self._registry)
+
+    @property
+    def outcomes(self) -> List[Tuple[int, DiscoveryOutcome]]:
+        """Per-request discovery decisions ``(request_id, outcome)`` (copy)."""
+        return list(self._outcomes)
+
+    def neighbours(self) -> List["Agent"]:
+        """Upper and lower agents — the only agents this one is aware of."""
+        result = list(self._children)
+        if self._parent is not None:
+            result.append(self._parent)
+        return result
+
+    # --------------------------------------------------------------- topology
+
+    def _set_parent(self, parent: Optional["Agent"]) -> None:
+        self._parent = parent
+
+    def _add_child(self, child: "Agent") -> None:
+        if child is self:
+            raise AgentError(f"agent {self._name!r} cannot be its own child")
+        self._children.append(child)
+
+    # ----------------------------------------------------------- advertising
+
+    def service_info(self) -> ServiceInfo:
+        """This agent's *fresh* service record (Fig. 5)."""
+        scheduler = self._scheduler
+        return ServiceInfo(
+            agent_endpoint=self._endpoint,
+            scheduler_endpoint=Endpoint(self._endpoint.address, self._endpoint.port + 9000),
+            hardware_type=scheduler.resource.slowest_platform().name,
+            nproc=scheduler.resource.size,
+            environments=scheduler.environments,
+            freetime=scheduler.freetime(),
+        )
+
+    def start(self) -> None:
+        """Activate the advertisement strategy."""
+        self._advertisement.start(self)
+
+    def stop(self) -> None:
+        """Deactivate the advertisement strategy."""
+        self._advertisement.stop()
+
+    def deactivate(self) -> None:
+        """Take this agent off the grid (crash simulation).
+
+        The endpoint unregisters, the advertisement strategy stops, and
+        the registry is dropped.  Neighbours are *not* informed — they
+        discover the absence through failed sends, exactly like a crashed
+        process behind a dead socket.
+        """
+        self.stop()
+        if self._transport.is_registered(self._endpoint):
+            self._transport.unregister(self._endpoint)
+        self._registry.clear()
+
+    def _send_best_effort(self, message: Message) -> bool:
+        """Send, tolerating a dead recipient; returns delivery acceptance."""
+        try:
+            self._transport.send(message)
+        except TransportError:
+            self._stats.send_failures += 1
+            self._registry.pop(message.recipient, None)  # stale record
+            return False
+        return True
+
+    def pull_neighbours(self) -> None:
+        """Send a PULL to every neighbour (periodic-pull strategy hook).
+
+        Dead neighbours are tolerated: the send fails, the failure is
+        counted, and their stale registry entry is dropped.
+        """
+        for neighbour in self.neighbours():
+            self._send_best_effort(
+                Message(
+                    MessageKind.PULL,
+                    self._endpoint,
+                    neighbour.endpoint,
+                    payload=None,
+                )
+            )
+
+    def push_to_neighbours(self) -> None:
+        """Send an ADVERTISE with fresh info to every neighbour (push hook)."""
+        info = self.service_info()
+        for neighbour in self.neighbours():
+            self._send_best_effort(
+                Message(
+                    MessageKind.ADVERTISE,
+                    self._endpoint,
+                    neighbour.endpoint,
+                    payload=info,
+                )
+            )
+
+    # ----------------------------------------------------------- request path
+
+    def submit(self, envelope: RequestEnvelope) -> None:
+        """Entry point for a request arriving at this agent (hop 0)."""
+        self._process_request(envelope, hops=0)
+
+    def _process_request(self, envelope: RequestEnvelope, hops: int) -> None:
+        self._stats.requests_seen += 1
+        envelope = envelope.visited(self._name)
+        request = envelope.request
+        now = self.sim.now
+        local_match = match_request(
+            request, self.service_info(), self._evaluator, self._catalogue, now
+        )
+        neighbour_matches: Dict[Endpoint, MatchResult] = {}
+        for neighbour in self.neighbours():
+            info = self._registry.get(neighbour.endpoint)
+            if info is not None:
+                neighbour_matches[neighbour.endpoint] = match_request(
+                    request, info, self._evaluator, self._catalogue, now
+                )
+        parent_ep = self._parent.endpoint if self._parent is not None else None
+        outcome = discover(
+            local_match, neighbour_matches, parent_ep, hops, self._discovery_config
+        )
+        self._outcomes.append((envelope.request_id, outcome))
+        if outcome.decision is Decision.LOCAL:
+            self._submit_locally(envelope)
+        elif outcome.decision is Decision.FORWARD:
+            assert outcome.target is not None
+            self._stats.forwarded += 1
+            if outcome.target == parent_ep and outcome.reason.startswith("escalate"):
+                self._stats.escalated += 1
+            delivered = self._send_best_effort(
+                Message(
+                    MessageKind.REQUEST,
+                    self._endpoint,
+                    outcome.target,
+                    payload=envelope,
+                    hops=hops + 1,
+                )
+            )
+            if not delivered:
+                # The chosen agent is gone; absorb the request locally if
+                # possible rather than losing it (its registry entry was
+                # dropped, so the next decision will not repeat the pick).
+                if local_match.supported:
+                    self._submit_locally(envelope)
+                else:
+                    self._stats.rejected += 1
+                    self._send_result(
+                        envelope,
+                        TaskResult(
+                            request_id=envelope.request_id,
+                            application=request.application.name,
+                            success=False,
+                            submit_time=request.submit_time,
+                            deadline=request.deadline,
+                            trace=envelope.trace,
+                        ),
+                    )
+        else:
+            self._stats.rejected += 1
+            self._send_result(
+                envelope,
+                TaskResult(
+                    request_id=envelope.request_id,
+                    application=request.application.name,
+                    success=False,
+                    submit_time=request.submit_time,
+                    deadline=request.deadline,
+                    trace=envelope.trace,
+                ),
+            )
+
+    @property
+    def _evaluator(self):
+        return self._scheduler.evaluator
+
+    def _submit_locally(self, envelope: RequestEnvelope) -> None:
+        self._stats.submitted_locally += 1
+        task = self._scheduler.submit(envelope.request)
+        self._reply_to[task.task_id] = envelope
+
+    # --------------------------------------------------------------- messages
+
+    def _handle_message(self, message: Message) -> None:
+        if message.kind is MessageKind.REQUEST:
+            envelope = message.payload
+            if not isinstance(envelope, RequestEnvelope):
+                raise AgentError(f"bad REQUEST payload: {type(envelope).__name__}")
+            self._process_request(envelope, hops=message.hops)
+        elif message.kind is MessageKind.PULL:
+            self._stats.pulls_answered += 1
+            self._transport.send(
+                Message(
+                    MessageKind.ADVERTISE,
+                    self._endpoint,
+                    message.sender,
+                    payload=self.service_info(),
+                )
+            )
+        elif message.kind is MessageKind.ADVERTISE:
+            info = message.payload
+            if not isinstance(info, ServiceInfo):
+                raise AgentError(f"bad ADVERTISE payload: {type(info).__name__}")
+            self._stats.advertisements_received += 1
+            self._registry[message.sender] = info
+        else:
+            raise AgentError(
+                f"agent {self._name!r} cannot handle {message.kind.value!r}"
+            )
+
+    # ----------------------------------------------------------------- results
+
+    def _handle_local_completion(self, task: Task) -> None:
+        envelope = self._reply_to.pop(task.task_id, None)
+        if envelope is None:
+            return  # submitted directly to the scheduler, not via this agent
+        assert task.completion_time is not None and task.start_time is not None
+        self._send_result(
+            envelope,
+            TaskResult(
+                request_id=envelope.request_id,
+                application=task.application.name,
+                success=True,
+                resource_name=task.resource_name or self._scheduler.resource.name,
+                submit_time=task.request.submit_time,
+                start_time=task.start_time,
+                completion_time=task.completion_time,
+                deadline=task.deadline,
+                trace=envelope.trace,
+            ),
+        )
+
+    def _send_result(self, envelope: RequestEnvelope, result: TaskResult) -> None:
+        self._transport.send(
+            Message(
+                MessageKind.RESULT,
+                self._endpoint,
+                envelope.reply_to,
+                payload=result,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "head" if self.is_head else "node"
+        return f"Agent({self._name!r}, {role}, children={len(self._children)})"

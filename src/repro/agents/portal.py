@@ -1,0 +1,172 @@
+"""The user portal (§3.2, Fig. 6).
+
+"A portal has been developed which allows users to submit requests destined
+for the grid resources.  A user is required to specify the details of the
+application, the requirements and contact information for each request."
+
+The portal assigns globally unique request ids, wraps each submission in a
+:class:`~repro.agents.agent.RequestEnvelope`, sends it to the chosen agent
+over the transport, and collects :class:`~repro.agents.agent.TaskResult`
+messages posted back when execution finishes (standing in for the paper's
+result e-mails).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.agents.agent import Agent, RequestEnvelope, TaskResult
+from repro.errors import AgentError
+from repro.net.message import Endpoint, Message, MessageKind
+from repro.net.transport import Transport
+from repro.net.xmlio import request_to_xml
+from repro.pace.application import ApplicationModel
+from repro.tasks.task import Environment, TaskRequest
+
+__all__ = ["UserPortal"]
+
+
+class UserPortal:
+    """Submits requests to agents and gathers their results.
+
+    Parameters
+    ----------
+    transport:
+        The grid's message transport.
+    sim:
+        The discrete-event engine (for submit timestamps).
+    endpoint:
+        This portal's transport identity.
+    email:
+        Contact string recorded in outgoing requests.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        sim,
+        *,
+        endpoint: Endpoint = Endpoint("portal.grid", 8000),
+        email: str = "user@portal.grid",
+    ) -> None:
+        self._transport = transport
+        self._sim = sim
+        self._endpoint = endpoint
+        self._email = email
+        self._next_request_id = 0
+        self._submitted: Dict[int, RequestEnvelope] = {}
+        self._results: Dict[int, TaskResult] = {}
+        transport.register(endpoint, self._handle_message)
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """The portal's transport identity."""
+        return self._endpoint
+
+    @property
+    def submitted_count(self) -> int:
+        """Requests sent so far."""
+        return len(self._submitted)
+
+    @property
+    def results(self) -> Dict[int, TaskResult]:
+        """Results received so far, by request id (copy)."""
+        return dict(self._results)
+
+    @property
+    def pending_count(self) -> int:
+        """Requests still awaiting a result."""
+        return len(self._submitted) - len(self._results)
+
+    def result(self, request_id: int) -> Optional[TaskResult]:
+        """The result for *request_id*, or ``None`` if still pending."""
+        return self._results.get(request_id)
+
+    def envelope(self, request_id: int) -> RequestEnvelope:
+        """The envelope submitted under *request_id*."""
+        try:
+            return self._submitted[request_id]
+        except KeyError:
+            raise AgentError(f"no request {request_id} submitted") from None
+
+    def successes(self) -> List[TaskResult]:
+        """Results of successfully executed requests."""
+        return [r for r in self._results.values() if r.success]
+
+    def failures(self) -> List[TaskResult]:
+        """Results of rejected requests."""
+        return [r for r in self._results.values() if not r.success]
+
+    # ----------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        target,
+        application: ApplicationModel,
+        environment: Environment,
+        deadline: float,
+    ) -> int:
+        """Submit one request to *target*; returns the request id.
+
+        *target* is anything with a transport ``endpoint`` — a grid
+        :class:`~repro.agents.agent.Agent`, or a stand-alone
+        :class:`~repro.scheduling.endpoint.SchedulerServer` (the paper's
+        "system functions independently" mode).  *deadline* is absolute
+        virtual time (δ_r of Fig. 6).
+        """
+        now = self._sim.now
+        request = TaskRequest(
+            application=application,
+            environment=environment,
+            deadline=deadline,
+            submit_time=now,
+            email=self._email,
+            origin=getattr(target, "name", str(target.endpoint)),
+        )
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        envelope = RequestEnvelope(
+            request_id=request_id, request=request, reply_to=self._endpoint
+        )
+        self._submitted[request_id] = envelope
+        self._transport.send(
+            Message(
+                MessageKind.REQUEST,
+                self._endpoint,
+                target.endpoint,
+                payload=envelope,
+            )
+        )
+        return request_id
+
+    def request_document(self, request_id: int) -> str:
+        """The Fig. 6 XML document for a submitted request (for tracing)."""
+        envelope = self.envelope(request_id)
+        request = envelope.request
+        return request_to_xml(
+            {
+                "name": request.application.name,
+                "binary_file": f"/grid/binary/{request.application.name}",
+                "input_file": f"/grid/binary/input.{request_id}",
+                "model_name": f"/grid/model/{request.application.name}",
+                "environment": request.environment.value,
+                "deadline": request.deadline,
+                "email": request.email,
+            }
+        )
+
+    # --------------------------------------------------------------- messages
+
+    def _handle_message(self, message: Message) -> None:
+        if message.kind is not MessageKind.RESULT:
+            raise AgentError(
+                f"portal cannot handle {message.kind.value!r} messages"
+            )
+        result = message.payload
+        if not isinstance(result, TaskResult):
+            raise AgentError(f"bad RESULT payload: {type(result).__name__}")
+        if result.request_id not in self._submitted:
+            raise AgentError(f"result for unknown request {result.request_id}")
+        self._results[result.request_id] = result

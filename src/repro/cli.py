@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's evaluation artefacts:
+
+* ``table1`` — the seven applications' predicted execution times;
+* ``table2`` — the experiment design matrix;
+* ``table3`` — run experiments 1–3 and print Table 3 (+ trend checks);
+* ``figures`` — run the experiments and print/plot Figures 8–10;
+* ``workload`` — inspect the seeded §4.1 request workload;
+* ``predict`` — one-off PACE prediction for an application/platform.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import table2_experiments
+from repro.experiments.tables import (
+    check_paper_trends,
+    run_table3,
+    table1_rows,
+)
+from repro.experiments.workload import generate_workload, workload_summary
+from repro.metrics.ascii_plot import ascii_line_chart
+from repro.metrics.reporting import figure_series, render_figure_series, render_table3
+from repro.pace.evaluation import EvaluationEngine
+from repro.pace.hardware import DEFAULT_CATALOGUE
+from repro.pace.workloads import paper_application_specs
+from repro.utils.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Agent-based grid load balancing (Cao et al., IPPS 2003) "
+        "— reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (application predictions)")
+    sub.add_parser("table2", help="print Table 2 (experiment design)")
+
+    table3 = sub.add_parser("table3", help="run experiments 1-3, print Table 3")
+    table3.add_argument("--requests", type=int, default=600)
+    table3.add_argument("--seed", type=int, default=2003)
+    table3.add_argument("--json", metavar="PATH",
+                        help="also write full results as JSON")
+    table3.add_argument("--csv", metavar="PATH",
+                        help="also write Table 3 as CSV")
+
+    sweep = sub.add_parser(
+        "sweep", help="seed-robustness sweep of the paper's conclusions"
+    )
+    sweep.add_argument("--requests", type=int, default=600)
+    sweep.add_argument("--seeds", type=int, nargs="+",
+                       default=[2003, 2004, 2005])
+
+    figures = sub.add_parser("figures", help="run experiments, print Figures 8-10")
+    figures.add_argument("--requests", type=int, default=600)
+    figures.add_argument("--seed", type=int, default=2003)
+    figures.add_argument("--charts", action="store_true", help="draw ASCII curves")
+
+    workload = sub.add_parser("workload", help="inspect the seeded workload")
+    workload.add_argument("--requests", type=int, default=600)
+    workload.add_argument("--seed", type=int, default=2003)
+    workload.add_argument("--head", type=int, default=10, help="show first N items")
+
+    predict = sub.add_parser("predict", help="one-off PACE prediction")
+    predict.add_argument("application", choices=sorted(paper_application_specs()))
+    predict.add_argument("--platform", default="SGIOrigin2000",
+                         choices=DEFAULT_CATALOGUE.names())
+    predict.add_argument("--max-nproc", type=int, default=16)
+    return parser
+
+
+def _cmd_table1() -> None:
+    headers = ["application", "deadlines"] + [str(k) for k in range(1, 17)]
+    rows = [
+        [name, f"[{b[0]:.0f},{b[1]:.0f}]"] + [f"{t:.0f}" for t in times]
+        for name, b, times in table1_rows()
+    ]
+    print(render_table(headers, rows,
+                       title="Table 1: PACE predictions on SGIOrigin2000 (s)"))
+
+
+def _cmd_table2() -> None:
+    rows = [
+        ["FIFO Algorithm", "x", "", ""],
+        ["GA Algorithm", "", "x", "x"],
+        ["Agent-based Service Discovery", "", "", "x"],
+    ]
+    print(render_table(["", "1", "2", "3"], rows, title="Table 2: experiment design"))
+    for cfg in table2_experiments():
+        print(f"  {cfg.name}: policy={cfg.policy.value}, agents={cfg.agents_enabled}")
+
+
+def _run(requests: int, seed: int):
+    print(f"Running experiments 1-3 ({requests} requests, seed {seed})...",
+          file=sys.stderr)
+    return run_table3(master_seed=seed, request_count=requests)
+
+
+def _cmd_table3(
+    requests: int,
+    seed: int,
+    json_path: Optional[str] = None,
+    csv_path: Optional[str] = None,
+) -> int:
+    results = _run(requests, seed)
+    print(render_table3([r.metrics for r in results], title="Table 3"))
+    print()
+    failures = 0
+    for check in check_paper_trends(results):
+        status = "PASS" if check.holds else "FAIL"
+        failures += not check.holds
+        print(f"  {status}  {check.name}: {check.detail}")
+    if json_path:
+        from repro.experiments.export import results_to_json
+
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(results_to_json(results))
+        print(f"wrote {json_path}", file=sys.stderr)
+    if csv_path:
+        from repro.experiments.export import table3_to_csv
+
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            handle.write(table3_to_csv(results))
+        print(f"wrote {csv_path}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_sweep(requests: int, seeds: List[int]) -> int:
+    from repro.experiments.sweep import run_seed_sweep
+
+    print(f"Sweeping seeds {seeds} ({requests} requests each)...", file=sys.stderr)
+    summary = run_seed_sweep(seeds, request_count=requests)
+    rows = [
+        [name, f"{fraction:.0%}"]
+        for name, fraction in sorted(summary.trend_support.items())
+    ]
+    print(render_table(["trend", "seeds supporting"], rows,
+                       title=f"Trend support across {len(seeds)} seeds"))
+    print()
+    metric_rows = []
+    for i in range(3):
+        cells = [f"experiment {i + 1}"]
+        for metric in ("epsilon", "upsilon", "beta"):
+            mean, std = summary.total(i, metric)
+            cells.append(f"{mean:.0f} ± {std:.0f}")
+        metric_rows.append(cells)
+    print(render_table(["", "ε (s)", "υ (%)", "β (%)"], metric_rows,
+                       title="Grid totals, mean ± std over seeds"))
+    return 0 if all(f == 1.0 for f in summary.trend_support.values()) else 1
+
+
+def _cmd_figures(requests: int, seed: int, charts: bool) -> None:
+    results = _run(requests, seed)
+    metrics = [r.metrics for r in results]
+    for metric, title in (
+        ("epsilon", "Figure 8: advance time ε (s)"),
+        ("upsilon", "Figure 9: resource utilisation υ (%)"),
+        ("beta", "Figure 10: load balancing level β (%)"),
+    ):
+        print(render_figure_series(metrics, metric, title=title))
+        print()
+        if charts:
+            print(ascii_line_chart(
+                figure_series(metrics, metric),
+                highlight=["S1", "S2", "S11", "S12"],
+                x_labels=[f"exp {i + 1}" for i in range(len(results))],
+                title=title + " — curves",
+            ))
+            print()
+
+
+def _cmd_workload(requests: int, seed: int, head: int) -> None:
+    from repro.experiments.casestudy import case_study_topology
+
+    topo = case_study_topology()
+    items = generate_workload(
+        topo.agent_names,
+        paper_application_specs(),
+        count=requests,
+        master_seed=seed,
+    )
+    rows = [
+        [f"{it.submit_time:.0f}", it.agent_name, it.application,
+         f"{it.deadline - it.submit_time:.1f}"]
+        for it in items[:head]
+    ]
+    print(render_table(["t (s)", "agent", "application", "deadline offset (s)"],
+                       rows, title=f"Workload head ({head} of {len(items)})"))
+    summary = workload_summary(items)
+    print()
+    print("per agent:", dict(sorted(summary["per_agent"].items())))
+    print("per application:", dict(sorted(summary["per_application"].items())))
+
+
+def _cmd_predict(application: str, platform_name: str, max_nproc: int) -> None:
+    specs = paper_application_specs()
+    platform = DEFAULT_CATALOGUE.get(platform_name)
+    engine = EvaluationEngine()
+    model = specs[application].model
+    rows = [
+        [k, f"{engine.evaluate_count(model, k, platform):.1f}"]
+        for k in range(1, max_nproc + 1)
+    ]
+    print(render_table(
+        ["nproc", "seconds"], rows,
+        title=f"{application} on {platform.name}",
+    ))
+    best_k, best_t = engine.best_count(model, platform, max_nproc)
+    print(f"optimal allocation: {best_k} processors ({best_t:.1f}s)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        _cmd_table1()
+    elif args.command == "table2":
+        _cmd_table2()
+    elif args.command == "table3":
+        return _cmd_table3(args.requests, args.seed, args.json, args.csv)
+    elif args.command == "sweep":
+        return _cmd_sweep(args.requests, args.seeds)
+    elif args.command == "figures":
+        _cmd_figures(args.requests, args.seed, args.charts)
+    elif args.command == "workload":
+        _cmd_workload(args.requests, args.seed, args.head)
+    elif args.command == "predict":
+        _cmd_predict(args.application, args.platform, args.max_nproc)
+    return 0

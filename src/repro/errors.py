@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class at an API boundary.  Subclasses follow the package
+layout: model errors come from :mod:`repro.pace`, schedule errors from
+:mod:`repro.scheduling`, and so on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ModelError",
+    "EvaluationError",
+    "ScheduleError",
+    "CodingError",
+    "TaskError",
+    "TaskStateError",
+    "SimulationError",
+    "TransportError",
+    "SerializationError",
+    "AgentError",
+    "DiscoveryError",
+    "HierarchyError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, range, or type)."""
+
+
+class ModelError(ReproError):
+    """A PACE application or resource model is malformed or inconsistent."""
+
+
+class EvaluationError(ReproError):
+    """The PACE evaluation engine could not produce a prediction."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is infeasible or internally inconsistent."""
+
+
+class CodingError(ReproError):
+    """A solution string violates the two-part coding scheme."""
+
+
+class TaskError(ReproError):
+    """A task or task-queue operation is invalid."""
+
+
+class TaskStateError(TaskError):
+    """A task lifecycle transition was attempted out of order."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. past-time event)."""
+
+
+class TransportError(ReproError):
+    """A message could not be delivered (unknown endpoint, closed transport)."""
+
+
+class SerializationError(ReproError):
+    """An XML document could not be produced or parsed."""
+
+
+class AgentError(ReproError):
+    """An agent-level operation failed."""
+
+
+class DiscoveryError(AgentError):
+    """Service discovery terminated unsuccessfully in strict mode."""
+
+
+class HierarchyError(AgentError):
+    """The agent hierarchy is malformed (cycle, orphan, duplicate name)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run is invalid."""

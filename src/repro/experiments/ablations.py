@@ -1,0 +1,138 @@
+"""Library-level ablation sweeps over the experiment-3 configuration.
+
+The benchmark harness prints these; having them as plain functions makes
+the design-space explorations scriptable (notebooks, further studies)
+without going through pytest.  Each sweep varies exactly one knob against
+the paper's experiment-3 setting and returns one
+:class:`~repro.experiments.runner.ExperimentResult` per variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.casestudy import GridTopology, case_study_topology, scaled_topology
+from repro.experiments.config import ExperimentConfig, table2_experiments
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "base_config",
+    "sweep_prediction_noise",
+    "sweep_advertisement",
+    "sweep_freetime_mode",
+    "sweep_agent_count",
+    "sweep_pull_interval",
+]
+
+
+def base_config(request_count: int = 60, **overrides) -> ExperimentConfig:
+    """The experiment-3 configuration at a configurable scale."""
+    cfg = table2_experiments(request_count=request_count)[2]
+    if overrides:
+        cfg = dataclasses.replace(cfg, **overrides)
+    return cfg
+
+
+def sweep_prediction_noise(
+    levels: Sequence[float] = (0.0, 0.1, 0.3, 0.6),
+    *,
+    request_count: int = 60,
+    topology: Optional[GridTopology] = None,
+) -> Dict[float, ExperimentResult]:
+    """PACE accuracy ablation: log-normal σ applied to predictions."""
+    if not levels:
+        raise ExperimentError("levels must not be empty")
+    return {
+        float(noise): run_experiment(
+            base_config(
+                request_count,
+                name=f"accuracy-{noise}",
+                prediction_noise=float(noise),
+            ),
+            topology,
+        )
+        for noise in levels
+    }
+
+
+def sweep_advertisement(
+    strategies: Sequence[str] = ("pull", "push", "none"),
+    *,
+    request_count: int = 60,
+    topology: Optional[GridTopology] = None,
+) -> Dict[str, ExperimentResult]:
+    """Advertisement-strategy ablation (§3.1)."""
+    if not strategies:
+        raise ExperimentError("strategies must not be empty")
+    return {
+        strategy: run_experiment(
+            base_config(
+                request_count,
+                name=f"advert-{strategy}",
+                advertisement=strategy,
+            ),
+            topology,
+        )
+        for strategy in strategies
+    }
+
+
+def sweep_freetime_mode(
+    modes: Sequence[str] = ("makespan", "mean", "min"),
+    *,
+    request_count: int = 60,
+    topology: Optional[GridTopology] = None,
+) -> Dict[str, ExperimentResult]:
+    """Eq.-(10) freetime-estimator ablation."""
+    if not modes:
+        raise ExperimentError("modes must not be empty")
+    return {
+        mode: run_experiment(
+            base_config(request_count, name=f"freetime-{mode}", freetime_mode=mode),
+            topology,
+        )
+        for mode in modes
+    }
+
+
+def sweep_agent_count(
+    counts: Sequence[int] = (6, 12, 24),
+    *,
+    requests_per_agent: int = 5,
+    nproc: int = 8,
+) -> Dict[int, ExperimentResult]:
+    """Scalability ablation over generated grids."""
+    if not counts:
+        raise ExperimentError("counts must not be empty")
+    results: Dict[int, ExperimentResult] = {}
+    for count in counts:
+        topo = scaled_topology(int(count), nproc=nproc)
+        cfg = base_config(
+            requests_per_agent * int(count), name=f"scale-{count}"
+        )
+        results[int(count)] = run_experiment(cfg, topo)
+    return results
+
+
+def sweep_pull_interval(
+    intervals: Sequence[float] = (2.0, 10.0, 60.0),
+    *,
+    request_count: int = 60,
+    topology: Optional[GridTopology] = None,
+) -> Dict[float, ExperimentResult]:
+    """Advertisement staleness: the periodic-pull cadence (paper: 10 s)."""
+    if not intervals:
+        raise ExperimentError("intervals must not be empty")
+    return {
+        float(interval): run_experiment(
+            base_config(
+                request_count,
+                name=f"pull-{interval}",
+                pull_interval=float(interval),
+            ),
+            topology,
+        )
+        for interval in intervals
+    }

@@ -1,0 +1,159 @@
+"""The case-study grid of §4.1 / Fig. 7.
+
+"The experimental system is configured with twelve agents ... named
+S1……S12 ... and represent heterogeneous hardware resources containing
+sixteen processing nodes per resource. ... The SGI multi-processor is the
+most powerful, followed by the Sun Ultra 10, 5, 1, and SPARCStation 2 in
+turn."
+
+Fig. 7 assigns the platforms: S1–S2 SGIOrigin2000, S3–S4 SunUltra10,
+S5–S7 SunUltra5, S8–S10 SunUltra1, S11–S12 SunSPARCstation2.  The figure
+draws the hierarchy but the running text only fixes its head ("the agent at
+the head of the hierarchy (S1)"), so the tree below is our documented
+reading of the figure's layout: a balanced tree headed by S1.  The tree is
+a parameter of :func:`case_study_topology`, so alternative readings (and
+the scalability extension's larger grids) reuse all of the machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.pace.hardware import (
+    DEFAULT_CATALOGUE,
+    HardwareCatalogue,
+    PlatformSpec,
+)
+
+__all__ = [
+    "CASE_STUDY_PLATFORMS",
+    "CASE_STUDY_TREE",
+    "GridTopology",
+    "case_study_topology",
+    "scaled_topology",
+]
+
+#: Fig. 7 platform assignment (agent name -> platform name).
+CASE_STUDY_PLATFORMS: Mapping[str, str] = {
+    "S1": "SGIOrigin2000",
+    "S2": "SGIOrigin2000",
+    "S3": "SunUltra10",
+    "S4": "SunUltra10",
+    "S5": "SunUltra5",
+    "S6": "SunUltra5",
+    "S7": "SunUltra5",
+    "S8": "SunUltra1",
+    "S9": "SunUltra1",
+    "S10": "SunUltra1",
+    "S11": "SunSPARCstation2",
+    "S12": "SunSPARCstation2",
+}
+
+#: Our reading of Fig. 7's tree: S1 heads the hierarchy (per §4.1); the
+#: remaining agents form a balanced tree beneath it.
+CASE_STUDY_TREE: Mapping[str, Optional[str]] = {
+    "S1": None,
+    "S2": "S1",
+    "S3": "S1",
+    "S4": "S1",
+    "S5": "S2",
+    "S6": "S2",
+    "S7": "S3",
+    "S8": "S3",
+    "S9": "S4",
+    "S10": "S4",
+    "S11": "S5",
+    "S12": "S6",
+}
+
+#: §4.1: "sixteen processing nodes per resource".
+CASE_STUDY_NPROC = 16
+
+
+@dataclass(frozen=True)
+class GridTopology:
+    """A grid configuration: agents, their platforms, node counts, and tree."""
+
+    platforms: Mapping[str, str]       # agent name -> platform name
+    parent_of: Mapping[str, Optional[str]]
+    nproc: Mapping[str, int]
+    catalogue: HardwareCatalogue = DEFAULT_CATALOGUE
+
+    def __post_init__(self) -> None:
+        if set(self.platforms) != set(self.parent_of):
+            raise ExperimentError("platforms and tree must cover the same agents")
+        if set(self.platforms) != set(self.nproc):
+            raise ExperimentError("platforms and nproc must cover the same agents")
+        for name, platform in self.platforms.items():
+            if platform not in self.catalogue:
+                raise ExperimentError(
+                    f"agent {name!r} assigned unknown platform {platform!r}"
+                )
+        for name, count in self.nproc.items():
+            if count < 1:
+                raise ExperimentError(f"agent {name!r} has nproc {count}")
+
+    @property
+    def agent_names(self) -> Tuple[str, ...]:
+        """All agent names, in a stable (S1, S2, ... numeric-aware) order."""
+        return tuple(sorted(self.platforms, key=_numeric_suffix))
+
+    def platform(self, name: str) -> PlatformSpec:
+        """The platform spec of agent *name*'s resource."""
+        return self.catalogue.get(self.platforms[name])
+
+    @property
+    def total_nodes(self) -> int:
+        """Processing nodes across the whole grid (N of §3.3)."""
+        return sum(self.nproc.values())
+
+
+def _numeric_suffix(name: str) -> Tuple[str, int]:
+    head = name.rstrip("0123456789")
+    tail = name[len(head):]
+    return (head, int(tail) if tail else -1)
+
+
+def case_study_topology(*, nproc: int = CASE_STUDY_NPROC) -> GridTopology:
+    """The paper's 12-agent case-study grid (Fig. 7)."""
+    return GridTopology(
+        platforms=dict(CASE_STUDY_PLATFORMS),
+        parent_of=dict(CASE_STUDY_TREE),
+        nproc={name: nproc for name in CASE_STUDY_PLATFORMS},
+    )
+
+
+def scaled_topology(
+    n_agents: int,
+    *,
+    nproc: int = CASE_STUDY_NPROC,
+    branching: int = 3,
+    catalogue: HardwareCatalogue = DEFAULT_CATALOGUE,
+) -> GridTopology:
+    """A generated grid of *n_agents* for the scalability extension.
+
+    Agents are named G1..Gn, arranged in a complete *branching*-ary tree
+    (G1 the head) and assigned platforms round-robin through the catalogue
+    from fastest to slowest, preserving the case study's heterogeneity.
+    """
+    if n_agents < 1:
+        raise ExperimentError(f"n_agents must be >= 1, got {n_agents}")
+    if branching < 1:
+        raise ExperimentError(f"branching must be >= 1, got {branching}")
+    names = [f"G{i + 1}" for i in range(n_agents)]
+    ordered_platforms = sorted(catalogue, key=lambda p: p.speed_factor)
+    platforms = {
+        name: ordered_platforms[i % len(ordered_platforms)].name
+        for i, name in enumerate(names)
+    }
+    parent_of: Dict[str, Optional[str]] = {}
+    for i, name in enumerate(names):
+        parent_of[name] = None if i == 0 else names[(i - 1) // branching]
+    return GridTopology(
+        platforms=platforms,
+        parent_of=parent_of,
+        nproc={name: nproc for name in names},
+        catalogue=catalogue,
+    )

@@ -1,0 +1,248 @@
+"""Wiring and running one case-study experiment end-to-end.
+
+:func:`build_grid` assembles the full system for a configuration — one
+shared discrete-event engine and transport, one PACE evaluation engine (one
+shared cache, as §2.2 describes), a scheduler + executor + monitor + agent
+per resource, the Fig. 7 hierarchy, and a user portal.  :func:`run_experiment`
+replays the seeded §4.1 workload through it and reduces the outcome to the
+§3.3 metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.agents.advertisement import (
+    AdvertisementStrategy,
+    EventPushStrategy,
+    NoAdvertisement,
+    PeriodicPullStrategy,
+)
+from repro.agents.agent import Agent, AgentStats
+from repro.agents.hierarchy import Hierarchy, wire_hierarchy
+from repro.agents.portal import UserPortal
+from repro.errors import ExperimentError
+from repro.experiments.casestudy import GridTopology, case_study_topology
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workload import WorkloadItem, generate_workload
+from repro.metrics.balancing import GridMetrics, compute_metrics
+from repro.metrics.records import CompletionRecord, records_from_tasks
+from repro.net.message import Endpoint
+from repro.net.transport import Transport
+from repro.pace.cache import CacheStats
+from repro.pace.evaluation import EvaluationEngine
+from repro.pace.resource import ResourceModel
+from repro.pace.workloads import ApplicationSpec, paper_application_specs
+from repro.scheduling.scheduler import LocalScheduler, SchedulingPolicy
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+from repro.tasks.execution import ExecutionMode
+from repro.tasks.task import Environment
+from repro.utils.rng import RngRegistry
+
+__all__ = ["GridSystem", "ExperimentResult", "build_grid", "run_experiment"]
+
+#: Hard ceiling on simulation events per experiment — a liveness backstop,
+#: far above any legitimate run (the full case study fires ~10^5 events).
+MAX_EVENTS = 20_000_000
+
+
+@dataclass
+class GridSystem:
+    """A fully wired grid ready to receive requests."""
+
+    config: ExperimentConfig
+    topology: GridTopology
+    sim: Engine
+    transport: Transport
+    evaluator: EvaluationEngine
+    schedulers: Dict[str, LocalScheduler]
+    agents: Dict[str, Agent]
+    hierarchy: Hierarchy
+    portal: UserPortal
+    specs: Mapping[str, ApplicationSpec]
+
+    def start(self) -> None:
+        """Activate advertisement strategies and resource monitors."""
+        self.hierarchy.start_all()
+        for scheduler in self.schedulers.values():
+            scheduler.monitor.start()
+
+    def stop(self) -> None:
+        """Deactivate periodic processes so the event queue can drain."""
+        self.hierarchy.stop_all()
+        for scheduler in self.schedulers.values():
+            scheduler.monitor.stop()
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    config: ExperimentConfig
+    metrics: GridMetrics
+    records: List[CompletionRecord]
+    workload: List[WorkloadItem]
+    agent_stats: Dict[str, AgentStats]
+    cache_stats: CacheStats
+    messages_sent: int
+    rejected_count: int
+    wall_seconds: float
+
+    @property
+    def horizon(self) -> float:
+        """The metrics observation period ``t``."""
+        return self.metrics.horizon
+
+
+def build_grid(
+    config: ExperimentConfig, topology: Optional[GridTopology] = None
+) -> GridSystem:
+    """Assemble the full system for *config* (default: the Fig. 7 grid)."""
+    topo = topology if topology is not None else case_study_topology()
+    rngs = RngRegistry(config.master_seed)
+    sim = Engine()
+    transport = Transport(sim)
+    evaluator = EvaluationEngine(
+        noise_factor=config.prediction_noise,
+        rng=rngs.stream("prediction-noise") if config.prediction_noise > 0 else None,
+    )
+    specs = paper_application_specs()
+    schedulers: Dict[str, LocalScheduler] = {}
+    agents: Dict[str, Agent] = {}
+    for i, name in enumerate(topo.agent_names):
+        resource = ResourceModel.homogeneous(
+            name, topo.platform(name), topo.nproc[name]
+        )
+        scheduler = LocalScheduler(
+            sim,
+            resource,
+            evaluator,
+            policy=config.policy,
+            rng=rngs.stream(f"ga-{name}"),
+            ga_config=config.ga_config,
+            generations_per_event=config.generations_per_event,
+            execution_mode=(
+                ExecutionMode.SIMULATED
+                if config.runtime_noise > 0
+                else ExecutionMode.TEST
+            ),
+            runtime_noise=config.runtime_noise,
+            execution_rng=(
+                rngs.stream(f"exec-{name}") if config.runtime_noise > 0 else None
+            ),
+            monitor_poll_interval=config.monitor_poll_interval,
+            freetime_mode=config.freetime_mode,
+        )
+        schedulers[name] = scheduler
+        agents[name] = Agent(
+            name,
+            Endpoint(f"{name.lower()}.grid.example", 1000 + i),
+            scheduler,
+            transport,
+            catalogue=topo.catalogue,
+            discovery_config=config.discovery,
+            advertisement=_advertisement(config),
+        )
+    hierarchy = wire_hierarchy(agents, dict(topo.parent_of))
+    portal = UserPortal(transport, sim)
+    return GridSystem(
+        config=config,
+        topology=topo,
+        sim=sim,
+        transport=transport,
+        evaluator=evaluator,
+        schedulers=schedulers,
+        agents=agents,
+        hierarchy=hierarchy,
+        portal=portal,
+        specs=specs,
+    )
+
+
+def _advertisement(config: ExperimentConfig) -> AdvertisementStrategy:
+    if not config.agents_enabled or config.advertisement == "none":
+        return NoAdvertisement()
+    if config.advertisement == "push":
+        return EventPushStrategy()
+    return PeriodicPullStrategy(config.pull_interval)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    topology: Optional[GridTopology] = None,
+    *,
+    workload: Optional[List[WorkloadItem]] = None,
+) -> ExperimentResult:
+    """Run one experiment to completion and compute the §3.3 metrics.
+
+    The run finishes when every submitted request has produced a result
+    (execution completed, or rejection in strict mode) — the paper measures
+    final scheduling scenarios, not a truncated horizon.
+    """
+    t_wall = time.perf_counter()
+    system = build_grid(config, topology)
+    items = (
+        workload
+        if workload is not None
+        else generate_workload(
+            system.topology.agent_names,
+            system.specs,
+            count=config.request_count,
+            interval=config.request_interval,
+            master_seed=config.master_seed,
+        )
+    )
+    system.start()
+    for item in items:
+        system.sim.schedule(
+            item.submit_time,
+            _submitter(system, item),
+            priority=Priority.ARRIVAL,
+            label=f"arrival-{item.application}",
+        )
+    steps = 0
+    while system.portal.pending_count > 0 or system.portal.submitted_count < len(items):
+        if not system.sim.step():
+            raise ExperimentError(
+                f"event queue drained with {system.portal.pending_count} "
+                "requests still pending"
+            )
+        steps += 1
+        if steps > MAX_EVENTS:
+            raise ExperimentError(f"experiment exceeded {MAX_EVENTS} events")
+    system.stop()
+
+    records: List[CompletionRecord] = []
+    busy = {}
+    nodes = {}
+    for name, scheduler in system.schedulers.items():
+        records.extend(records_from_tasks(scheduler.executor.completed_tasks))
+        busy[name] = scheduler.executor.busy_intervals
+        nodes[name] = scheduler.resource.size
+    metrics = compute_metrics(records, busy, nodes)
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        records=records,
+        workload=items,
+        agent_stats={name: agent.stats for name, agent in system.agents.items()},
+        cache_stats=system.evaluator.cache.stats,
+        messages_sent=system.transport.sent,
+        rejected_count=len(system.portal.failures()),
+        wall_seconds=time.perf_counter() - t_wall,
+    )
+
+
+def _submitter(system: GridSystem, item: WorkloadItem):
+    def submit() -> None:
+        system.portal.submit(
+            system.agents[item.agent_name],
+            system.specs[item.application].model,
+            Environment.TEST,
+            item.deadline,
+        )
+
+    return submit

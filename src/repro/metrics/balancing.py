@@ -1,0 +1,165 @@
+"""The three grid load-balancing metrics of §3.3 (eqs. 11–15).
+
+* **ε** — average advance time of application execution completion,
+  ``Σ (δ_j − η_j) / M`` — "negative when most deadlines fail" (eq. 11);
+* **υ_i / υ** — per-node and average resource-utilisation rate: busy
+  seconds over an observation period ``t`` (eqs. 12–13);
+* **β** — load-balancing level ``(1 − d/υ) × 100 %`` where ``d`` is the
+  mean square deviation of the υ_i (eqs. 14–15).
+
+The observation period ``t`` is the **global horizon** — from 0 to the
+latest completion anywhere in the grid — for every resource, reproducing
+Table 3's pattern where a fast resource that finishes early and then idles
+scores low utilisation while an overloaded slow one keeps grinding (see
+DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.metrics.records import CompletionRecord
+from repro.tasks.execution import BusyInterval
+from repro.utils.stats import balance_level, mean
+
+__all__ = ["ResourceMetrics", "GridMetrics", "node_utilisations", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class ResourceMetrics:
+    """ε, υ, β for one resource (or the whole grid).
+
+    ``epsilon`` is in seconds; ``upsilon`` and ``beta`` are fractions
+    (multiply by 100 for the paper's percentages).  ``epsilon`` is ``nan``
+    for a resource that executed no tasks.
+    """
+
+    name: str
+    epsilon: float
+    upsilon: float
+    beta: float
+    n_tasks: int
+    n_nodes: int
+
+    @property
+    def upsilon_percent(self) -> float:
+        """υ as a percentage (Table 3's unit)."""
+        return self.upsilon * 100.0
+
+    @property
+    def beta_percent(self) -> float:
+        """β as a percentage (Table 3's unit)."""
+        return self.beta * 100.0
+
+
+@dataclass(frozen=True)
+class GridMetrics:
+    """Per-resource metrics plus the grid-total row of Table 3."""
+
+    per_resource: Dict[str, ResourceMetrics]
+    total: ResourceMetrics
+    horizon: float
+
+    def resource(self, name: str) -> ResourceMetrics:
+        """Metrics for one named resource."""
+        try:
+            return self.per_resource[name]
+        except KeyError:
+            raise ValidationError(f"no metrics for resource {name!r}") from None
+
+
+def node_utilisations(
+    intervals: Sequence[BusyInterval], n_nodes: int, horizon: float
+) -> np.ndarray:
+    """υ_i for each of *n_nodes* nodes over ``[0, horizon]`` (eq. 12)."""
+    if horizon <= 0:
+        raise ValidationError(f"horizon must be > 0, got {horizon}")
+    if n_nodes < 1:
+        raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+    busy = np.zeros(n_nodes)
+    for iv in intervals:
+        if not (0 <= iv.node_id < n_nodes):
+            raise ValidationError(
+                f"interval node {iv.node_id} out of range 0..{n_nodes - 1}"
+            )
+        start = min(iv.start, horizon)
+        end = min(iv.end, horizon)
+        busy[iv.node_id] += max(end - start, 0.0)
+    return busy / horizon
+
+
+def compute_metrics(
+    records: Sequence[CompletionRecord],
+    busy_intervals: Mapping[str, Sequence[BusyInterval]],
+    nodes_per_resource: Mapping[str, int],
+    *,
+    horizon: Optional[float] = None,
+    total_name: str = "Total",
+) -> GridMetrics:
+    """Evaluate ε, υ, β per resource and grid-wide.
+
+    Parameters
+    ----------
+    records:
+        Completion records for every executed task.
+    busy_intervals:
+        Per-resource node occupations (from each executor).
+    nodes_per_resource:
+        Node count of every resource, including ones that executed nothing.
+    horizon:
+        Observation period ``t``; default = latest completion in *records*.
+    """
+    if set(busy_intervals) - set(nodes_per_resource):
+        raise ValidationError("busy_intervals names a resource without a node count")
+    if horizon is None:
+        if not records:
+            raise ValidationError("cannot infer horizon with no records")
+        horizon = max(r.completion for r in records)
+    if horizon <= 0:
+        raise ValidationError(f"horizon must be > 0, got {horizon}")
+
+    per_resource: Dict[str, ResourceMetrics] = {}
+    all_utils: List[np.ndarray] = []
+    for name in nodes_per_resource:
+        n_nodes = nodes_per_resource[name]
+        intervals = busy_intervals.get(name, ())
+        utils = node_utilisations(intervals, n_nodes, horizon)
+        all_utils.append(utils)
+        local_records = [r for r in records if r.resource_name == name]
+        eps = (
+            mean([r.advance_time for r in local_records])
+            if local_records
+            else float("nan")
+        )
+        per_resource[name] = ResourceMetrics(
+            name=name,
+            epsilon=eps,
+            upsilon=float(utils.mean()),
+            beta=_beta(utils),
+            n_tasks=len(local_records),
+            n_nodes=n_nodes,
+        )
+
+    grid_utils = np.concatenate(all_utils) if all_utils else np.zeros(0)
+    if grid_utils.size == 0:
+        raise ValidationError("no resources given")
+    total = ResourceMetrics(
+        name=total_name,
+        epsilon=mean([r.advance_time for r in records]) if records else float("nan"),
+        upsilon=float(grid_utils.mean()),
+        beta=_beta(grid_utils),
+        n_tasks=len(records),
+        n_nodes=int(grid_utils.size),
+    )
+    return GridMetrics(per_resource=per_resource, total=total, horizon=horizon)
+
+
+def _beta(utils: np.ndarray) -> float:
+    """β of a utilisation vector; 1.0 for an all-idle (trivially even) set."""
+    if np.allclose(utils, 0.0):
+        return 1.0
+    return balance_level(utils)

@@ -1,0 +1,74 @@
+"""Typed messages exchanged between agents, portals, and schedulers.
+
+The original system spoke XML over TCP between Java agents; the message
+*types* here mirror the protocol the paper describes: execution requests
+travel down the discovery path (Fig. 6), results return to the user, and
+service advertisements flow between neighbouring agents (Fig. 5) either
+unsolicited (push) or in reply to a pull.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import TransportError
+
+__all__ = ["Endpoint", "MessageKind", "Message"]
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A network identity: the (address, port) tuple of Figs. 5–6."""
+
+    address: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.address:
+            raise TransportError("endpoint address must be non-empty")
+        if not (0 < self.port < 65536):
+            raise TransportError(f"endpoint port out of range: {self.port}")
+
+    def __str__(self) -> str:
+        return f"{self.address}:{self.port}"
+
+
+class MessageKind(enum.Enum):
+    """Protocol message types."""
+
+    REQUEST = "request"      # an execution request (Fig. 6) seeking a resource
+    RESULT = "result"        # execution outcome returned to the submitter
+    ADVERTISE = "advertise"  # service information (Fig. 5), pushed or pulled
+    PULL = "pull"            # ask a neighbour for its current service info
+
+
+@dataclass(frozen=True)
+class Message:
+    """One transported message.
+
+    ``payload`` is kind-specific: a request record, a task summary, or a
+    service-information record.  ``hops`` counts discovery forwards so a
+    request cannot circulate indefinitely.
+    """
+
+    kind: MessageKind
+    sender: Endpoint
+    recipient: Endpoint
+    payload: Any
+    hops: int = 0
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def forwarded(self, sender: Endpoint, recipient: Endpoint) -> "Message":
+        """A copy routed onward with the hop count incremented."""
+        return Message(
+            kind=self.kind,
+            sender=sender,
+            recipient=recipient,
+            payload=self.payload,
+            hops=self.hops + 1,
+        )

@@ -1,0 +1,136 @@
+"""Protocol payloads: service records, request envelopes, results.
+
+These are the bodies of the ADVERTISE / REQUEST / RESULT messages.  They
+live in :mod:`repro.net` (not :mod:`repro.agents`) because both the agents
+*and* a stand-alone scheduler endpoint speak this protocol — the paper's
+scheduler "can be received directly from a user when the system functions
+independently or from an agent" (§2.2).  :mod:`repro.agents` re-exports
+them under their paper-facing names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import ValidationError
+from repro.net.message import Endpoint
+from repro.net.xmlio import parse_service_info, service_info_to_xml
+from repro.tasks.task import Environment, TaskRequest
+
+__all__ = ["ServiceInfo", "RequestEnvelope", "TaskResult"]
+
+
+@dataclass(frozen=True)
+class ServiceInfo:
+    """One resource's advertised service description (Fig. 5).
+
+    ``freetime`` is an absolute virtual time; a value in the past simply
+    means the resource is free now (consumers clamp to their own clock).
+    """
+
+    agent_endpoint: Endpoint
+    scheduler_endpoint: Endpoint
+    hardware_type: str
+    nproc: int
+    environments: Tuple[Environment, ...]
+    freetime: float
+
+    def __post_init__(self) -> None:
+        if not self.hardware_type:
+            raise ValidationError("hardware_type must be non-empty")
+        if self.nproc < 1:
+            raise ValidationError(f"nproc must be >= 1, got {self.nproc}")
+        if not self.environments:
+            raise ValidationError("service must list at least one environment")
+
+    def supports(self, environment: Environment) -> bool:
+        """Whether the resource provides *environment*."""
+        return environment in self.environments
+
+    def with_freetime(self, freetime: float) -> "ServiceInfo":
+        """A copy carrying an updated freetime estimate."""
+        return ServiceInfo(
+            self.agent_endpoint,
+            self.scheduler_endpoint,
+            self.hardware_type,
+            self.nproc,
+            self.environments,
+            freetime,
+        )
+
+    # -------------------------------------------------------------------- XML
+
+    def to_xml(self) -> str:
+        """Render as the Fig. 5 document."""
+        return service_info_to_xml(
+            {
+                "agent_address": self.agent_endpoint.address,
+                "agent_port": self.agent_endpoint.port,
+                "local_address": self.scheduler_endpoint.address,
+                "local_port": self.scheduler_endpoint.port,
+                "type": self.hardware_type,
+                "nproc": self.nproc,
+                "environments": [e.value for e in self.environments],
+                "freetime": self.freetime,
+            }
+        )
+
+    @classmethod
+    def from_xml(cls, document: str) -> "ServiceInfo":
+        """Parse a Fig. 5 document."""
+        fields = parse_service_info(document)
+        return cls(
+            agent_endpoint=Endpoint(fields["agent_address"], fields["agent_port"]),
+            scheduler_endpoint=Endpoint(
+                fields["local_address"], fields["local_port"]
+            ),
+            hardware_type=fields["type"],
+            nproc=fields["nproc"],
+            environments=tuple(Environment.parse(e) for e in fields["environments"]),
+            freetime=fields["freetime"],
+        )
+
+
+@dataclass(frozen=True)
+class RequestEnvelope:
+    """A request travelling the grid, with routing bookkeeping (Fig. 6).
+
+    ``trace`` records the stations visited — the experiments use it to
+    study dispatch behaviour; ``reply_to`` is the portal endpoint results
+    return to.
+    """
+
+    request_id: int
+    request: TaskRequest
+    reply_to: Endpoint
+    trace: Tuple[str, ...] = ()
+
+    def visited(self, station: str) -> "RequestEnvelope":
+        """A copy with *station* appended to the trace."""
+        return replace(self, trace=self.trace + (station,))
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Execution outcome posted back to the submitter."""
+
+    request_id: int
+    application: str
+    success: bool
+    resource_name: str = ""
+    submit_time: float = 0.0
+    start_time: float = 0.0
+    completion_time: float = 0.0
+    deadline: float = 0.0
+    trace: Tuple[str, ...] = ()
+
+    @property
+    def advance_time(self) -> float:
+        """δ − η; positive when the deadline was met (eq. 11 term)."""
+        return self.deadline - self.completion_time
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the task finished by its deadline."""
+        return self.success and self.completion_time <= self.deadline

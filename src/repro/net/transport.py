@@ -1,0 +1,129 @@
+"""In-memory message transport over the simulation engine.
+
+Replaces the original system's TCP sockets (see DESIGN.md §2): endpoints
+register a handler under their (address, port) identity; ``send`` delivers
+the message through the discrete-event engine after a configurable latency
+(default 0, matching the paper's LAN-scale deployment where network delay
+is negligible against 1-second request intervals).
+
+Delivery is asynchronous even at zero latency — the handler runs in its own
+event — so agent logic never re-enters itself, exactly like a real
+single-threaded message loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.net.message import Endpoint, Message
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+from repro.utils.validation import check_non_negative
+
+__all__ = ["Transport"]
+
+Handler = Callable[[Message], None]
+
+
+class Transport:
+    """Routes messages between registered endpoints via the sim engine.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event engine.
+    latency:
+        Seconds between send and delivery (applied to every message).
+    """
+
+    def __init__(self, sim: Engine, *, latency: float = 0.0) -> None:
+        check_non_negative(latency, "latency")
+        self._sim = sim
+        self._latency = float(latency)
+        self._handlers: Dict[Endpoint, Handler] = {}
+        self._sent = 0
+        self._delivered = 0
+        self._dropped: List[Message] = []
+        self._taps: List[Callable[[Message], None]] = []
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def latency(self) -> float:
+        """Per-message delivery latency in seconds."""
+        return self._latency
+
+    @property
+    def sent(self) -> int:
+        """Messages accepted for delivery."""
+        return self._sent
+
+    @property
+    def delivered(self) -> int:
+        """Messages handed to handlers."""
+        return self._delivered
+
+    @property
+    def dropped(self) -> List[Message]:
+        """Messages whose endpoint unregistered before delivery (copy)."""
+        return list(self._dropped)
+
+    def endpoints(self) -> List[Endpoint]:
+        """Registered endpoints, sorted."""
+        return sorted(self._handlers)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def register(self, endpoint: Endpoint, handler: Handler) -> None:
+        """Bind *handler* to *endpoint*; rebinding an endpoint is an error."""
+        if endpoint in self._handlers:
+            raise TransportError(f"endpoint {endpoint} already registered")
+        self._handlers[endpoint] = handler
+
+    def unregister(self, endpoint: Endpoint) -> None:
+        """Remove an endpoint; in-flight messages to it will be dropped."""
+        if endpoint not in self._handlers:
+            raise TransportError(f"endpoint {endpoint} not registered")
+        del self._handlers[endpoint]
+
+    def is_registered(self, endpoint: Endpoint) -> bool:
+        """Whether *endpoint* currently has a handler."""
+        return endpoint in self._handlers
+
+    def tap(self, observer: Callable[[Message], None]) -> None:
+        """Observe every delivered message (tracing/tests)."""
+        self._taps.append(observer)
+
+    # ------------------------------------------------------------------- send
+
+    def send(self, message: Message) -> None:
+        """Queue *message* for delivery after the transport latency.
+
+        Raises
+        ------
+        TransportError
+            If the recipient endpoint is not registered at send time.
+        """
+        if message.recipient not in self._handlers:
+            raise TransportError(
+                f"no endpoint registered at {message.recipient} "
+                f"(message {message.kind.value} from {message.sender})"
+            )
+        self._sent += 1
+        self._sim.schedule_in(
+            self._latency,
+            lambda: self._deliver(message),
+            priority=Priority.DEFAULT,
+            label=f"deliver-{message.kind.value}-{message.message_id}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.recipient)
+        if handler is None:
+            self._dropped.append(message)
+            return
+        self._delivered += 1
+        for tap in self._taps:
+            tap(message)
+        handler(message)

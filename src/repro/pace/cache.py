@@ -1,0 +1,126 @@
+"""The demand-driven evaluation cache (§2.2).
+
+The paper: "many of the evaluations requested by the GA are likely to be
+exactly the same as those required by previous generations... To capitalise
+on this redundancy, a cache of all previous evaluations has been added
+between the scheduler and the PACE evaluation engine."
+
+Keys are ``(application name, nproc, platform name)`` — the three quantities
+a prediction is a pure function of.  The cache records hit/miss statistics
+so the cache ablation benchmark can reproduce §2.2's redundancy argument,
+and supports an optional capacity bound with FIFO eviction (the paper's
+cache was unbounded; ours defaults to unbounded too).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from repro.errors import ValidationError
+
+__all__ = ["CacheStats", "EvaluationCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for an :class:`EvaluationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.evictions = 0
+
+
+class EvaluationCache:
+    """Memoisation layer between a scheduler and the evaluation engine.
+
+    Parameters
+    ----------
+    max_size:
+        Optional capacity bound; ``None`` (default) means unbounded, as in
+        the paper.  When bounded, the oldest entry is evicted first.
+
+    Examples
+    --------
+    >>> cache = EvaluationCache()
+    >>> calls = []
+    >>> def compute():
+    ...     calls.append(1)
+    ...     return 42.0
+    >>> cache.get_or_compute(("app", 4, "SGIOrigin2000"), compute)
+    42.0
+    >>> cache.get_or_compute(("app", 4, "SGIOrigin2000"), compute)
+    42.0
+    >>> len(calls)   # second lookup was a hit
+    1
+    """
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size <= 0:
+            raise ValidationError(f"max_size must be > 0 or None, got {max_size}")
+        self._max_size = max_size
+        self._entries: "OrderedDict[Hashable, float]" = OrderedDict()
+        self._stats = CacheStats()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Live hit/miss statistics."""
+        return self._stats
+
+    @property
+    def size(self) -> int:
+        """Number of cached entries."""
+        return len(self._entries)
+
+    @property
+    def max_size(self) -> Optional[int]:
+        """The capacity bound, or ``None`` for unbounded."""
+        return self._max_size
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], float]) -> float:
+        """Return the cached value for *key*, computing and storing on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._stats.misses += 1
+            value = compute()
+            self._entries[key] = value
+            if self._max_size is not None and len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+        else:
+            self._stats.hits += 1
+        return value
+
+    def peek(self, key: Hashable) -> Optional[float]:
+        """Return the cached value without affecting statistics, or None."""
+        return self._entries.get(key)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

@@ -1,0 +1,145 @@
+"""Additional baseline schedulers: random and round-robin placement.
+
+The paper compares its GA only against FIFO; the surrounding literature it
+cites (Abraham et al.'s heuristics survey, batch systems like Condor/LSF)
+routinely includes *random* and *round-robin* dispatch as the naive
+baselines.  Both are implemented here behind the same fixed-placement
+protocol as :class:`~repro.scheduling.fifo.FIFOScheduler` — tasks are
+placed in arrival order and the decision never changes — so the policy
+comparison bench isolates exactly one variable: how the allocation is
+chosen.
+
+* :class:`RandomScheduler` — a uniformly random non-empty node subset.
+* :class:`RoundRobinScheduler` — the task's duration-optimal processor
+  count ``k* = argmin_k t(k)``, taken as the next k nodes in cyclic order
+  (classic striping; ignores current bookings when choosing nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.scheduling.fifo import Allocation, SizeDurationFn
+
+__all__ = ["StaticPlacement", "RandomScheduler", "RoundRobinScheduler"]
+
+
+class StaticPlacement(Protocol):
+    """The fixed-placement protocol shared by FIFO/random/round-robin."""
+
+    @property
+    def makespan(self) -> float:
+        """Latest booked completion."""
+
+    @property
+    def booked_free_times(self) -> np.ndarray:
+        """Per-node booked-until times (copy)."""
+
+    def sync_availability(self, node_free_times: Sequence[float]) -> None:
+        """Raise bookings to at least the executor's actual availability."""
+
+    def place(self, task_id: int, duration: SizeDurationFn, now: float) -> Allocation:
+        """Book a fixed allocation for an arriving task."""
+
+    def placement(self, task_id: int) -> Allocation:
+        """The allocation previously booked for *task_id*."""
+
+
+class _BookingBase:
+    """Shared booking state for the fixed-placement baselines."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ScheduleError(f"n_nodes must be >= 1, got {n_nodes}")
+        self._free = np.zeros(n_nodes, dtype=float)
+        self._placements: Dict[int, Allocation] = {}
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of processing nodes."""
+        return self._free.size
+
+    @property
+    def makespan(self) -> float:
+        """Latest booked completion."""
+        return float(self._free.max())
+
+    @property
+    def booked_free_times(self) -> np.ndarray:
+        """Per-node booked-until times (copy)."""
+        return self._free.copy()
+
+    def placement(self, task_id: int) -> Allocation:
+        """The fixed allocation previously booked for *task_id*."""
+        try:
+            return self._placements[task_id]
+        except KeyError:
+            raise ScheduleError(f"no placement booked for task {task_id}") from None
+
+    def sync_availability(self, node_free_times: Sequence[float]) -> None:
+        """Raise bookings to at least actual availability (never earlier)."""
+        actual = np.asarray(node_free_times, dtype=float)
+        if actual.size != self._free.size:
+            raise ScheduleError(
+                f"expected {self._free.size} node times, got {actual.size}"
+            )
+        self._free = np.maximum(self._free, actual)
+
+    def _book(self, task_id: int, node_ids: tuple, duration: float, now: float) -> Allocation:
+        if task_id in self._placements:
+            raise ScheduleError(f"task {task_id} already placed")
+        if not (duration > 0 and np.isfinite(duration)):
+            raise ScheduleError(f"duration must be finite and > 0, got {duration}")
+        free = np.maximum(self._free, now)
+        start = float(max(free[list(node_ids)]))
+        allocation = Allocation(tuple(sorted(node_ids)), start, start + duration)
+        for nid in allocation.node_ids:
+            self._free[nid] = allocation.completion
+        self._placements[task_id] = allocation
+        return allocation
+
+
+class RandomScheduler(_BookingBase):
+    """Place each task on a uniformly random non-empty node subset.
+
+    The weakest sensible baseline: no performance prediction, no load
+    awareness — the allocation size and members are both random.
+    """
+
+    def __init__(self, n_nodes: int, rng: np.random.Generator) -> None:
+        super().__init__(n_nodes)
+        self._rng = rng
+
+    def place(self, task_id: int, duration: SizeDurationFn, now: float) -> Allocation:
+        """Book a random allocation for an arriving task."""
+        k = int(self._rng.integers(1, self.n_nodes + 1))
+        node_ids = tuple(
+            int(i) for i in self._rng.choice(self.n_nodes, size=k, replace=False)
+        )
+        return self._book(task_id, node_ids, float(duration(k)), now)
+
+
+class RoundRobinScheduler(_BookingBase):
+    """Stripe tasks across the nodes in cyclic order.
+
+    Each task gets its duration-optimal processor count (so the baseline
+    is performance-*aware* but not load-aware), starting at a cursor that
+    advances by k per placement.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        super().__init__(n_nodes)
+        self._cursor = 0
+
+    def place(self, task_id: int, duration: SizeDurationFn, now: float) -> Allocation:
+        """Book the next k nodes in cyclic order, k = argmin duration."""
+        durations = [float(duration(k)) for k in range(1, self.n_nodes + 1)]
+        k = int(np.argmin(durations)) + 1
+        node_ids = tuple(
+            (self._cursor + offset) % self.n_nodes for offset in range(k)
+        )
+        self._cursor = (self._cursor + k) % self.n_nodes
+        return self._book(task_id, node_ids, durations[k - 1], now)

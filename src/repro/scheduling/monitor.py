@@ -1,0 +1,194 @@
+"""The resource-monitoring module (§2.2).
+
+"The resource monitoring is responsible for gathering statistics concerning
+the process nodes on which tasks may execute. ... Currently, only host
+availability is supported, where the resource monitor queries each known
+node every five minutes. ... Resource monitoring is also responsible for
+organising the GA scheduling results and resource availabilities into
+service information that can be advertised."
+
+The monitor keeps an availability flag per node, polls on a periodic timer
+(default 300 s, as in the paper), and exposes the poll as an observable so
+the scheduler refreshes advertised service information.  Failure injection
+(``mark_down`` / ``mark_up``) feeds the robustness tests: the paper's real
+monitor would discover a crashed host at the next poll, so availability
+changes only become *visible* to consumers at poll time unless an
+immediate refresh is forced.
+
+The load statistics the paper lists as pending ("availability, load
+average and idle time.  Currently, only host availability is supported")
+are provided through the NWS-substitute extension: with ``track_load``
+enabled the monitor keeps one adaptive
+:class:`~repro.pace.forecast.LoadTracker` per node; polls sample a
+caller-provided load source, and consumers read per-node slowdown
+forecasts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import ValidationError
+from repro.pace.forecast import LoadTracker
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+from repro.sim.process import PeriodicProcess
+
+__all__ = ["ResourceMonitor", "DEFAULT_POLL_INTERVAL"]
+
+#: A load source maps a node id to its current load average.
+LoadSource = Callable[[int], float]
+
+#: The paper's polling cadence: "every five minutes".
+DEFAULT_POLL_INTERVAL = 300.0
+
+
+class ResourceMonitor:
+    """Polls node availability and notifies observers (§2.2).
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event engine supplying the timer.
+    n_nodes:
+        Number of nodes monitored.
+    poll_interval:
+        Seconds between polls (paper default: 300).
+    """
+
+    def __init__(
+        self,
+        sim: Engine,
+        n_nodes: int,
+        *,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        load_source: Optional[LoadSource] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+        self._sim = sim
+        self._actual_up: List[bool] = [True] * n_nodes  # ground truth
+        self._observed_up: List[bool] = [True] * n_nodes  # as of last poll
+        self._observers: List[Callable[[], None]] = []
+        self._polls = 0
+        self._load_source = load_source
+        self._trackers: Optional[List[LoadTracker]] = (
+            [LoadTracker() for _ in range(n_nodes)]
+            if load_source is not None
+            else None
+        )
+        self._process = PeriodicProcess(
+            sim,
+            poll_interval,
+            self.poll,
+            priority=Priority.MONITORING,
+            label="resource-monitor-poll",
+        )
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of monitored nodes."""
+        return len(self._actual_up)
+
+    @property
+    def polls(self) -> int:
+        """Number of polls performed."""
+        return self._polls
+
+    @property
+    def poll_interval(self) -> float:
+        """The polling cadence in seconds."""
+        return self._process.interval
+
+    def is_available(self, node_id: int) -> bool:
+        """Availability of *node_id* as of the last poll."""
+        self._check_node(node_id)
+        return self._observed_up[node_id]
+
+    def available_ids(self) -> List[int]:
+        """Node ids observed available at the last poll."""
+        return [i for i, up in enumerate(self._observed_up) if up]
+
+    def unavailable_ids(self) -> List[int]:
+        """Node ids observed down at the last poll."""
+        return [i for i, up in enumerate(self._observed_up) if not up]
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin periodic polling."""
+        self._process.start()
+
+    def stop(self) -> None:
+        """Stop periodic polling."""
+        self._process.stop()
+
+    def subscribe(self, observer: Callable[[], None]) -> None:
+        """Register a callback fired after every poll (service-info refresh)."""
+        self._observers.append(observer)
+
+    def poll(self) -> None:
+        """Query every node now, updating availability (and load samples)."""
+        self._polls += 1
+        self._observed_up = list(self._actual_up)
+        if self._trackers is not None:
+            assert self._load_source is not None
+            for nid, tracker in enumerate(self._trackers):
+                if self._actual_up[nid]:
+                    tracker.observe(float(self._load_source(nid)))
+        for observer in self._observers:
+            observer()
+
+    # -------------------------------------------------------- load forecasts
+
+    @property
+    def tracks_load(self) -> bool:
+        """Whether load sampling (the NWS extension) is enabled."""
+        return self._trackers is not None
+
+    def slowdown(self, node_id: int) -> float:
+        """Forecast execution-time multiplier for *node_id* (>= 1).
+
+        1.0 when load tracking is disabled or no samples exist yet.
+        """
+        self._check_node(node_id)
+        if self._trackers is None:
+            return 1.0
+        return self._trackers[node_id].slowdown()
+
+    def load_tracker(self, node_id: int) -> LoadTracker:
+        """The adaptive tracker behind *node_id*'s forecasts.
+
+        Raises
+        ------
+        ValidationError
+            If load tracking is disabled.
+        """
+        self._check_node(node_id)
+        if self._trackers is None:
+            raise ValidationError("load tracking is not enabled on this monitor")
+        return self._trackers[node_id]
+
+    # ----------------------------------------------------- failure injection
+
+    def mark_down(self, node_id: int, *, immediate: bool = False) -> None:
+        """Simulate a node crash; discovered at the next poll unless *immediate*."""
+        self._check_node(node_id)
+        self._actual_up[node_id] = False
+        if immediate:
+            self.poll()
+
+    def mark_up(self, node_id: int, *, immediate: bool = False) -> None:
+        """Simulate a node recovery; discovered at the next poll unless *immediate*."""
+        self._check_node(node_id)
+        self._actual_up[node_id] = True
+        if immediate:
+            self.poll()
+
+    def _check_node(self, node_id: int) -> None:
+        if not (0 <= node_id < len(self._actual_up)):
+            raise ValidationError(
+                f"node_id {node_id} out of range 0..{len(self._actual_up) - 1}"
+            )

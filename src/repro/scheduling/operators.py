@@ -1,0 +1,183 @@
+"""Genetic operators for the two-part coding scheme (§2.1).
+
+* **Selection** — "a fixed population size and stochastic remainder
+  selection": each individual receives ``floor(f_i / mean_f)`` offspring
+  deterministically; the fractional remainders fill the remaining slots by
+  weighted sampling without replacement of probability proportional to the
+  remainder.
+* **Crossover** — "first splices the two ordering strings at a random
+  location, and then reorders the pairs to produce legitimate solutions.
+  The mapping parts are crossed over by first reordering them to be
+  consistent with the new task order, and then performing a single-point
+  (binary) crossover.  The reordering is necessary to preserve the node
+  mapping associated with a particular task from one generation to the
+  next."
+* **Mutation** — "two-part, with a switching operator randomly applied to
+  the ordering parts, and a random bit-flip applied to the mapping parts."
+
+One repair rule is ours: a crossover or bit-flip that would leave a task
+with an empty node mask re-sets one random bit, because an empty mask is
+not a legitimate solution (every task needs at least one node).  The paper
+does not specify its repair; any choice that restores legitimacy preserves
+the algorithm's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.scheduling.coding import SolutionString
+
+__all__ = [
+    "stochastic_remainder_selection",
+    "order_splice",
+    "crossover",
+    "mutate",
+]
+
+
+def stochastic_remainder_selection(
+    fitness: Sequence[float], count: int, rng: np.random.Generator
+) -> List[int]:
+    """Select *count* parent indices by stochastic remainder sampling.
+
+    Returns indices into the population; order is shuffled so consecutive
+    entries can be paired for crossover.
+    """
+    f = np.asarray(fitness, dtype=float)
+    if f.size == 0:
+        raise ValidationError("fitness must not be empty")
+    if np.any(f < 0) or not np.all(np.isfinite(f)):
+        raise ValidationError("fitness values must be finite and >= 0")
+    if count <= 0:
+        raise ValidationError(f"count must be > 0, got {count}")
+    mean = f.mean()
+    if mean == 0:
+        # Degenerate population: select uniformly.
+        picks = rng.integers(0, f.size, size=count)
+        return [int(i) for i in picks]
+    expected = f / mean * (count / f.size)
+    guaranteed = np.floor(expected).astype(int)
+    selected: List[int] = []
+    for idx, copies in enumerate(guaranteed):
+        selected.extend([idx] * int(copies))
+    remainder = expected - guaranteed
+    slots = count - len(selected)
+    if slots > 0:
+        total = remainder.sum()
+        if total <= 0:
+            extra = rng.integers(0, f.size, size=slots)
+        else:
+            extra = rng.choice(f.size, size=slots, replace=True, p=remainder / total)
+        selected.extend(int(i) for i in extra)
+    elif slots < 0:
+        # Rounding overshoot: trim random extras.
+        rng.shuffle(selected)
+        selected = selected[:count]
+    result = np.array(selected)
+    rng.shuffle(result)
+    return [int(i) for i in result]
+
+
+def order_splice(
+    order_a: Sequence[int], order_b: Sequence[int], cut: int
+) -> Tuple[int, ...]:
+    """Splice two orderings at *cut*: a's prefix, then b's order for the rest.
+
+    This is the "reorder the pairs to produce legitimate solutions" step —
+    the child is always a permutation of the common task set.
+
+    >>> order_splice([3, 5, 2, 1], [1, 2, 5, 3], 2)
+    (3, 5, 1, 2)
+    """
+    if set(order_a) != set(order_b):
+        raise ValidationError("orderings must cover the same task ids")
+    if not (0 <= cut <= len(order_a)):
+        raise ValidationError(f"cut {cut} out of range 0..{len(order_a)}")
+    head = list(order_a[:cut])
+    head_set = set(head)
+    tail = [t for t in order_b if t not in head_set]
+    return tuple(head + tail)
+
+
+def _repair_empty_masks(
+    masks: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Set one random bit in any all-zero row (legitimacy repair)."""
+    empty = ~masks.any(axis=1)
+    for row in np.flatnonzero(empty):
+        masks[row, int(rng.integers(masks.shape[1]))] = True
+    return masks
+
+
+def crossover(
+    parent_a: SolutionString,
+    parent_b: SolutionString,
+    rng: np.random.Generator,
+) -> Tuple[SolutionString, SolutionString]:
+    """Two-part crossover producing two children.
+
+    The ordering strings are spliced at one random location (both
+    directions, giving two children); the mapping parts — flattened in each
+    child's task order — undergo a shared single-point binary crossover.
+    """
+    if set(parent_a.ordering) != set(parent_b.ordering):
+        raise ValidationError("parents must encode the same task set")
+    m = parent_a.n_tasks
+    if m == 0:
+        return parent_a, parent_b
+    n = parent_a.n_nodes
+    cut = int(rng.integers(0, m + 1))
+    child1_order = order_splice(parent_a.ordering, parent_b.ordering, cut)
+    child2_order = order_splice(parent_b.ordering, parent_a.ordering, cut)
+
+    # Mapping crossover: reorder both parents' maps to the child's task
+    # order (keyed lookup does this for free), flatten, single-point cross.
+    point = int(rng.integers(0, m * n + 1))
+
+    def cross_maps(
+        order: Tuple[int, ...], first: SolutionString, second: SolutionString
+    ) -> dict:
+        flat_first = np.concatenate([first.mask(t) for t in order])
+        flat_second = np.concatenate([second.mask(t) for t in order])
+        child_flat = np.concatenate([flat_first[:point], flat_second[point:]])
+        masks = child_flat.reshape(m, n).copy()
+        masks = _repair_empty_masks(masks, rng)
+        return {t: masks[i] for i, t in enumerate(order)}
+
+    child1 = SolutionString(child1_order, cross_maps(child1_order, parent_a, parent_b))
+    child2 = SolutionString(child2_order, cross_maps(child2_order, parent_b, parent_a))
+    return child1, child2
+
+
+def mutate(
+    solution: SolutionString,
+    rng: np.random.Generator,
+    *,
+    swap_probability: float = 0.2,
+    bitflip_probability: float = 0.02,
+) -> SolutionString:
+    """Two-part mutation: order swap + per-bit mapping flips.
+
+    With probability *swap_probability* two ordering positions are switched;
+    every mapping bit flips independently with *bitflip_probability*.
+    Empty masks are repaired.
+    """
+    if not (0 <= swap_probability <= 1 and 0 <= bitflip_probability <= 1):
+        raise ValidationError("mutation probabilities must be in [0, 1]")
+    m = solution.n_tasks
+    if m == 0:
+        return solution
+    n = solution.n_nodes
+    ordering = list(solution.ordering)
+    if m >= 2 and rng.random() < swap_probability:
+        i, j = rng.choice(m, size=2, replace=False)
+        ordering[i], ordering[j] = ordering[j], ordering[i]
+    masks = np.stack([solution.mask(t) for t in ordering]).copy()
+    flips = rng.random(masks.shape) < bitflip_probability
+    masks ^= flips
+    masks = _repair_empty_masks(masks, rng)
+    return SolutionString(ordering, {t: masks[i] for i, t in enumerate(ordering)})

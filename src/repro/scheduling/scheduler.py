@@ -1,0 +1,442 @@
+"""The performance-driven local grid scheduler (Fig. 3, §2.2).
+
+One :class:`LocalScheduler` manages one local grid resource.  It wires
+together the six functional modules of Fig. 3:
+
+* **communication** — :meth:`submit` (requests in), result listeners and
+  service-information listeners (results / advertisements out);
+* **task management** — a :class:`~repro.tasks.queue.TaskQueue` holding the
+  optimisation set T;
+* **GA scheduling** — a :class:`~repro.scheduling.ga.GAScheduler` (or the
+  FIFO baseline) searching for schedules over T;
+* **resource monitoring** — a :class:`~repro.scheduling.monitor.ResourceMonitor`
+  tracking node availability;
+* **task execution** — an :class:`~repro.tasks.execution.ExecutionEngine`
+  booking virtual-time executions;
+* **PACE evaluation engine** — the shared
+  :class:`~repro.pace.evaluation.EvaluationEngine` behind its cache.
+
+Dispatch model: the paper's scheduler "interrogates the GA when there are
+free resources available in order to submit tasks for execution" and
+removes launched tasks from T.  Here, every task arrival and every task
+completion triggers ``evolve`` + ``dispatch``: the incumbent schedule is
+rebuilt against actual node availability and every entry whose start time
+is *now* is launched.  Under FIFO, placements are fixed at arrival and a
+launch event is booked for each placement's start time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TaskError, ValidationError
+from repro.pace.evaluation import EvaluationEngine
+from repro.pace.resource import ResourceModel
+from repro.scheduling.baselines import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    StaticPlacement,
+)
+from repro.scheduling.fifo import FIFOScheduler
+from repro.scheduling.ga import GAConfig, GAScheduler
+from repro.scheduling.monitor import ResourceMonitor
+from repro.scheduling.schedule import build_schedule
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+from repro.tasks.execution import ExecutionEngine, ExecutionMode
+from repro.tasks.queue import TaskQueue
+from repro.tasks.task import Environment, Task, TaskRequest
+
+__all__ = ["SchedulingPolicy", "LocalScheduler"]
+
+#: How far into the future an unavailable node's free time is pushed.
+#: Finite (unlike inf) so cost arithmetic stays valid; far beyond any
+#: experiment horizon so down nodes are never selected for launchable work.
+UNAVAILABLE_HORIZON = 1.0e7
+
+_EPS = 1e-9
+
+
+class SchedulingPolicy(str, enum.Enum):
+    """Local scheduling algorithms available.
+
+    FIFO and GA are Table 2's rows; RANDOM and ROUND_ROBIN are the extra
+    literature baselines of :mod:`repro.scheduling.baselines` (fixed
+    placements like FIFO, weaker allocation choices).
+    """
+
+    FIFO = "fifo"
+    GA = "ga"
+    RANDOM = "random"
+    ROUND_ROBIN = "round-robin"
+
+    @property
+    def is_static(self) -> bool:
+        """Whether placements are fixed at arrival (everything but GA)."""
+        return self is not SchedulingPolicy.GA
+
+
+class LocalScheduler:
+    """A performance-driven scheduler for one local grid resource.
+
+    Parameters
+    ----------
+    sim:
+        Discrete-event engine (shared across the grid).
+    resource:
+        The local resource (homogeneous in the case study).
+    evaluator:
+        PACE evaluation engine (typically shared, for a shared cache).
+    policy:
+        FIFO or GA.
+    rng:
+        Random generator for the GA's stochastic choices.
+    ga_config:
+        GA tunables; ignored under FIFO.
+    generations_per_event:
+        GA generations evolved on each arrival/completion event.
+    environments:
+        Execution environments this resource supports (Fig. 5 advertises
+        mpi, pvm and test).
+    execution_mode / runtime_noise / execution_rng:
+        Passed to the :class:`ExecutionEngine`.
+    """
+
+    def __init__(
+        self,
+        sim: Engine,
+        resource: ResourceModel,
+        evaluator: EvaluationEngine,
+        *,
+        policy: SchedulingPolicy = SchedulingPolicy.GA,
+        rng: Optional[np.random.Generator] = None,
+        ga_config: GAConfig = GAConfig(),
+        generations_per_event: int = 10,
+        environments: Tuple[Environment, ...] = (
+            Environment.MPI,
+            Environment.PVM,
+            Environment.TEST,
+        ),
+        execution_mode: str = ExecutionMode.TEST,
+        runtime_noise: float = 0.0,
+        execution_rng: Optional[np.random.Generator] = None,
+        monitor_poll_interval: float = 300.0,
+        freetime_mode: str = "makespan",
+        load_profile: Optional[Callable[[float], float]] = None,
+        duration_correction: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if generations_per_event < 0:
+            raise ValidationError("generations_per_event must be >= 0")
+        if freetime_mode not in ("makespan", "mean", "min"):
+            raise ValidationError(f"unknown freetime_mode {freetime_mode!r}")
+        if policy is SchedulingPolicy.GA and rng is None:
+            raise ValidationError("GA policy requires an rng")
+        self._sim = sim
+        self._resource = resource
+        self._evaluator = evaluator
+        self._policy = policy
+        self._freetime_mode = freetime_mode
+        self._generations_per_event = int(generations_per_event)
+        self._environments = tuple(environments)
+        self._queue = TaskQueue()
+        self._executor = ExecutionEngine(
+            sim,
+            resource,
+            evaluator,
+            mode=execution_mode,
+            runtime_noise=runtime_noise,
+            rng=execution_rng,
+            load_profile=load_profile,
+        )
+        # Optional multiplier applied to every duration *estimate* (not the
+        # actual runtime) — the hook the NWS forecasting extension uses to
+        # correct static PACE predictions for background load.
+        self._duration_correction = duration_correction
+        self._executor.on_completion(self._handle_completion)
+        self._monitor = ResourceMonitor(
+            sim, resource.size, poll_interval=monitor_poll_interval
+        )
+        self._monitor.subscribe(self._notify_service_change)
+        self._platform = resource.slowest_platform()
+        self._ga: Optional[GAScheduler] = None
+        self._static: Optional[StaticPlacement] = None
+        if policy is SchedulingPolicy.GA:
+            assert rng is not None
+            self._ga = GAScheduler(
+                resource.size, self._task_duration, rng, ga_config
+            )
+        elif policy is SchedulingPolicy.FIFO:
+            self._static = FIFOScheduler(resource.size)
+        elif policy is SchedulingPolicy.RANDOM:
+            if rng is None:
+                raise ValidationError("RANDOM policy requires an rng")
+            self._static = RandomScheduler(resource.size, rng)
+        else:
+            self._static = RoundRobinScheduler(resource.size)
+        self._result_listeners: List[Callable[[Task], None]] = []
+        self._service_listeners: List[Callable[[], None]] = []
+        self._all_tasks: List[Task] = []
+        self._task_by_id: dict[int, Task] = {}
+        # Incumbent-schedule per-node free times, refreshed at each
+        # scheduling event; None = recompute on the next freetime() query.
+        self._cached_node_free: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def sim(self) -> Engine:
+        """The discrete-event engine."""
+        return self._sim
+
+    @property
+    def evaluator(self) -> EvaluationEngine:
+        """The PACE evaluation engine behind this scheduler."""
+        return self._evaluator
+
+    @property
+    def resource(self) -> ResourceModel:
+        """The managed resource."""
+        return self._resource
+
+    @property
+    def policy(self) -> SchedulingPolicy:
+        """The active scheduling policy."""
+        return self._policy
+
+    @property
+    def queue(self) -> TaskQueue:
+        """The task-management queue (the optimisation set T)."""
+        return self._queue
+
+    @property
+    def executor(self) -> ExecutionEngine:
+        """The task-execution engine."""
+        return self._executor
+
+    @property
+    def monitor(self) -> ResourceMonitor:
+        """The resource monitor."""
+        return self._monitor
+
+    @property
+    def environments(self) -> Tuple[Environment, ...]:
+        """Execution environments this resource supports."""
+        return self._environments
+
+    @property
+    def ga(self) -> Optional[GAScheduler]:
+        """The GA kernel (None under FIFO)."""
+        return self._ga
+
+    @property
+    def all_tasks(self) -> List[Task]:
+        """Every task ever submitted here, in submission order."""
+        return list(self._all_tasks)
+
+    def supports(self, environment: Environment) -> bool:
+        """Whether this resource provides *environment* (matchmaking gate)."""
+        return environment in self._environments
+
+    # ------------------------------------------------------------ estimation
+
+    def _task_duration(self, task_id: int, count: int) -> float:
+        task = self._task_by_id[task_id]
+        base = self._evaluator.evaluate_count(task.application, count, self._platform)
+        return base * self._correction_factor()
+
+    def effective_free_times(self) -> np.ndarray:
+        """Per-node availability: executor bookings, down nodes pushed out."""
+        free = np.array(
+            [self._executor.node_free_at(n.node_id) for n in self._resource.nodes]
+        )
+        now = self._sim.now
+        for nid in self._monitor.unavailable_ids():
+            free[nid] = max(free[nid], now + UNAVAILABLE_HORIZON)
+        return np.maximum(free, now)
+
+    def freetime(self) -> float:
+        """ω — the earliest (approximate) time processors free up (§3.2).
+
+        The paper advertises the GA's latest scheduling makespan, arguing
+        "it is reasonable to assume that all of processors within a grid
+        have approximately the same freetime" thanks to GA balancing.
+        ``freetime_mode`` makes the aggregation pluggable for the
+        estimator ablation:
+
+        * ``"makespan"`` (paper, default) — latest per-node free time;
+        * ``"mean"`` — average per-node free time (optimistic);
+        * ``"min"`` — earliest per-node free time (most optimistic).
+        """
+        now = self._sim.now
+        per_node = np.maximum(self._freetime_per_node(), now)
+        if self._freetime_mode == "mean":
+            return float(per_node.mean())
+        if self._freetime_mode == "min":
+            return float(per_node.min())
+        return float(per_node.max())
+
+    def _freetime_per_node(self) -> np.ndarray:
+        """Per-node booked-or-scheduled free times for the estimator."""
+        base = np.array(
+            [self._executor.node_free_at(n.node_id) for n in self._resource.nodes]
+        )
+        if self._policy.is_static:
+            assert self._static is not None
+            return np.maximum(self._static.booked_free_times, base)
+        if self._queue.is_empty:
+            return base
+        if self._cached_node_free is not None:
+            return np.maximum(self._cached_node_free, base)
+        assert self._ga is not None
+        now = self._sim.now
+        free = self.effective_free_times()
+        best = self._ga.best_solution(free, now)
+        schedule = build_schedule(best, free, self._task_duration, ref_time=now)
+        self._cached_node_free = np.array(
+            [schedule.node_free_after(n.node_id) for n in self._resource.nodes]
+        )
+        return self._cached_node_free
+
+    def expected_completion(self, request: TaskRequest) -> Tuple[float, int]:
+        """Eq. (10): ``η_r = ω + min_k t_x(k)`` and the minimising k.
+
+        The agent-level estimate used by matchmaking; the local scheduler
+        "may change the task order and advance or postpone a specific task
+        execution", so this is approximate by design.
+        """
+        best_k, best_t = self._evaluator.best_count(
+            request.application, self._platform, self._resource.size
+        )
+        best_t *= self._correction_factor()
+        return self.freetime() + best_t, best_k
+
+    def _correction_factor(self) -> float:
+        if self._duration_correction is None:
+            return 1.0
+        factor = float(self._duration_correction())
+        if factor <= 0.0:
+            raise ValidationError(f"duration correction must be > 0, got {factor}")
+        return factor
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, request: TaskRequest) -> Task:
+        """Accept a request: queue, schedule, and dispatch what can start now."""
+        if not self.supports(request.environment):
+            raise TaskError(
+                f"resource {self._resource.name!r} does not support "
+                f"{request.environment.value!r}"
+            )
+        task = self._queue.submit(request)
+        self._all_tasks.append(task)
+        self._task_by_id[task.task_id] = task
+        if self._policy.is_static:
+            self._place_static(task)
+        else:
+            assert self._ga is not None
+            self._ga.add_task(task.task_id, task.deadline)
+            self._evolve_and_dispatch()
+        self._notify_service_change()
+        return task
+
+    # ----------------------------------------------------- static placement
+
+    def _place_static(self, task: Task) -> None:
+        """Book a fixed allocation (FIFO/random/round-robin) and arm launch."""
+        assert self._static is not None
+        self._static.sync_availability(self.effective_free_times())
+        allocation = self._static.place(
+            task.task_id,
+            lambda k: self._task_duration(task.task_id, k),
+            self._sim.now,
+        )
+        self._sim.schedule(
+            allocation.start,
+            lambda: self._launch_static(task),
+            priority=Priority.SCHEDULING,
+            label=f"static-launch-{task.task_id}",
+        )
+
+    def _launch_static(self, task: Task) -> None:
+        assert self._static is not None
+        allocation = self._static.placement(task.task_id)
+        ready = self._executor.earliest_all_free(allocation.node_ids)
+        if ready > self._sim.now + _EPS:
+            # Actual availability drifted later than the booking (runtime
+            # noise or a node failure); re-arm at the observed time.
+            self._sim.schedule(
+                ready,
+                lambda: self._launch_static(task),
+                priority=Priority.SCHEDULING,
+                label=f"static-launch-{task.task_id}",
+            )
+            return
+        self._queue.remove(task.task_id)
+        self._executor.launch(task, allocation.node_ids)
+
+    # -------------------------------------------------------------------- GA
+
+    def _evolve_and_dispatch(self) -> None:
+        assert self._ga is not None
+        if self._queue.is_empty:
+            self._cached_node_free = None
+            return
+        now = self._sim.now
+        free = self.effective_free_times()
+        self._ga.evolve(self._generations_per_event, free, now)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Launch every incumbent-schedule entry whose start time is now.
+
+        A single pass suffices: the built schedule is conflict-free, so all
+        entries starting at the current instant are concurrently
+        launchable, and every other entry starts strictly later by
+        construction.  Remaining tasks are reconsidered at the next
+        arrival/completion event.
+        """
+        assert self._ga is not None
+        now = self._sim.now
+        free = self.effective_free_times()
+        best = self._ga.best_solution(free, now)
+        schedule = build_schedule(best, free, self._task_duration, ref_time=now)
+        self._cached_node_free = np.array(
+            [schedule.node_free_after(n.node_id) for n in self._resource.nodes]
+        )
+        for entry in schedule.entries:
+            if entry.start <= now + _EPS:
+                task = self._queue.remove(entry.task_id)
+                self._ga.remove_task(entry.task_id)
+                self._executor.launch(task, entry.node_ids)
+
+    # ------------------------------------------------------------ completions
+
+    def _handle_completion(self, task: Task) -> None:
+        for listener in self._result_listeners:
+            listener(task)
+        if self._policy is SchedulingPolicy.GA:
+            self._evolve_and_dispatch()
+        self._notify_service_change()
+
+    # ---------------------------------------------------------- notifications
+
+    def on_result(self, listener: Callable[[Task], None]) -> None:
+        """Register a callback fired when a task completes (results output)."""
+        self._result_listeners.append(listener)
+
+    def on_service_change(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired when advertised state may have changed."""
+        self._service_listeners.append(listener)
+
+    def _notify_service_change(self) -> None:
+        for listener in self._service_listeners:
+            listener()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalScheduler({self._resource.name!r}, policy={self._policy.value}, "
+            f"queued={len(self._queue)}, running={len(self._executor.running_tasks)})"
+        )

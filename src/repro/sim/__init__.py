@@ -1,0 +1,7 @@
+"""Discrete-event simulation substrate (virtual-time test mode, §4.1)."""
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventHandle, Priority
+from repro.sim.process import PeriodicProcess, delayed
+
+__all__ = ["Engine", "Event", "EventHandle", "Priority", "PeriodicProcess", "delayed"]

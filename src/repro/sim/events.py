@@ -1,0 +1,79 @@
+"""Event objects for the discrete-event engine.
+
+An :class:`Event` pairs a virtual firing time with a zero-argument callback.
+Events are totally ordered by ``(time, priority, sequence)`` so that
+simultaneous events fire deterministically: lower priority value first, then
+insertion order.  Determinism matters — the paper's experiments are seeded
+and must replay identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventHandle", "Priority"]
+
+
+class Priority:
+    """Well-known priority bands for simultaneous events.
+
+    Completions fire before arrivals at the same instant so freed processors
+    are visible to the scheduler that handles the arrival; monitoring and
+    advertisement run last, observing the settled state.
+    """
+
+    COMPLETION = 0
+    ARRIVAL = 10
+    SCHEDULING = 20
+    ADVERTISEMENT = 30
+    MONITORING = 40
+    DEFAULT = 50
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordered by ``(time, priority, sequence)``."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event cancelled; the engine will skip it when popped."""
+        self.cancelled = True
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.schedule`; supports cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The virtual time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """The debug label the event was scheduled with."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self._event.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, label={self.label!r}, {state})"

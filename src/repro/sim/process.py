@@ -1,0 +1,116 @@
+"""Process helpers layered on the engine: periodic and one-shot activities.
+
+Agents pull service information every 10 seconds and the resource monitor
+polls hosts every 5 minutes (§2.2, §4.1); :class:`PeriodicProcess` models
+exactly that pattern — a fixed-interval callback with start/stop control.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import EventHandle, Priority
+from repro.utils.validation import check_positive
+
+__all__ = ["PeriodicProcess", "delayed"]
+
+
+class PeriodicProcess:
+    """A callback fired at a fixed virtual-time interval.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine to schedule on.
+    interval:
+        Seconds between firings.
+    callback:
+        Zero-argument callable invoked each period.
+    priority:
+        Event priority band (see :class:`~repro.sim.events.Priority`).
+    fire_immediately:
+        If true, the first firing happens at ``start()`` time rather than
+        one interval later.
+    label:
+        Debug label attached to scheduled events.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = Priority.DEFAULT,
+        fire_immediately: bool = False,
+        label: str = "periodic",
+    ) -> None:
+        check_positive(interval, "interval")
+        self._engine = engine
+        self._interval = float(interval)
+        self._callback = callback
+        self._priority = priority
+        self._fire_immediately = fire_immediately
+        self._label = label
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        self._fired = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the process is currently scheduled."""
+        return self._running
+
+    @property
+    def fired(self) -> int:
+        """Number of times the callback has fired."""
+        return self._fired
+
+    @property
+    def interval(self) -> float:
+        """The firing interval in virtual seconds."""
+        return self._interval
+
+    def start(self) -> None:
+        """Begin periodic firing; idempotent if already running."""
+        if self._running:
+            return
+        self._running = True
+        delay = 0.0 if self._fire_immediately else self._interval
+        self._handle = self._engine.schedule_in(
+            delay, self._fire, priority=self._priority, label=self._label
+        )
+
+    def stop(self) -> None:
+        """Stop firing; pending occurrence is cancelled.  Idempotent."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._fired += 1
+        self._callback()
+        # Re-arm only if the callback did not stop the process.
+        if self._running:
+            self._handle = self._engine.schedule_in(
+                self._interval, self._fire, priority=self._priority, label=self._label
+            )
+
+
+def delayed(
+    engine: Engine,
+    delay: float,
+    callback: Callable[[], None],
+    *,
+    priority: int = Priority.DEFAULT,
+    label: str = "delayed",
+) -> EventHandle:
+    """Schedule a one-shot callback after *delay* seconds; returns its handle."""
+    if delay < 0:
+        raise SimulationError(f"delay must be >= 0, got {delay}")
+    return engine.schedule_in(delay, callback, priority=priority, label=label)

@@ -1,0 +1,16 @@
+"""Task model, task-management queue, and virtual-time execution (§2.2)."""
+
+from repro.tasks.execution import BusyInterval, ExecutionEngine, ExecutionMode
+from repro.tasks.queue import TaskQueue
+from repro.tasks.task import Environment, Task, TaskRequest, TaskState
+
+__all__ = [
+    "BusyInterval",
+    "ExecutionEngine",
+    "ExecutionMode",
+    "TaskQueue",
+    "Environment",
+    "Task",
+    "TaskRequest",
+    "TaskState",
+]

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for the benchmark harness output.
+
+The harness prints the same rows the paper reports (Tables 1–3).  Rendering
+lives here so experiment code returns plain data structures and stays
+testable without string comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any, precision: int = 0) -> str:
+    """Format a single table cell.
+
+    Floats are rendered with the given precision; ``None`` as an empty cell;
+    everything else via ``str``.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    precision: int = 0,
+    title: str | None = None,
+) -> str:
+    """Render a monospace table with aligned columns.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row data; every row must have ``len(headers)`` entries.
+    precision:
+        Decimal places for float cells.
+    title:
+        Optional title line printed above the table.
+    """
+    if not headers:
+        raise ValidationError("headers must not be empty")
+    str_rows = []
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+        str_rows.append([format_cell(c, precision) for c in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[j]) for j, c in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

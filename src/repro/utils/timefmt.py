@@ -1,0 +1,73 @@
+"""Virtual-time formatting helpers.
+
+The paper's XML templates (Figs. 5–6) carry wall-clock timestamps such as
+``Sun Nov 15 04:43:10 2001`` for the ``freetime`` and ``deadline`` fields.
+The simulation runs in virtual seconds from an epoch; these helpers convert
+between virtual seconds and paper-style timestamp strings so the XML layer
+round-trips byte-identical formats.
+"""
+
+from __future__ import annotations
+
+import calendar
+import time
+from typing import Final
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "EPOCH",
+    "format_timestamp",
+    "parse_timestamp",
+    "format_duration",
+]
+
+#: The virtual epoch: the timestamp that virtual time 0 maps to.  Chosen to
+#: match the era of the paper's example templates.
+EPOCH: Final[float] = calendar.timegm(time.strptime("Sun Nov 15 04:43:10 2001".replace("Nov 15", "Nov 15"), "%a %b %d %H:%M:%S %Y")) * 1.0
+
+_CTIME_FORMAT: Final[str] = "%a %b %d %H:%M:%S %Y"
+
+
+def format_timestamp(virtual_seconds: float) -> str:
+    """Render a virtual time as a paper-style ``ctime`` string (UTC).
+
+    >>> format_timestamp(0.0)
+    'Thu Nov 15 04:43:10 2001'
+    """
+    if not (virtual_seconds == virtual_seconds):  # NaN check without numpy
+        raise ValidationError("virtual_seconds must not be NaN")
+    return time.strftime(_CTIME_FORMAT, time.gmtime(EPOCH + virtual_seconds))
+
+
+def parse_timestamp(text: str) -> float:
+    """Parse a paper-style ``ctime`` string back to virtual seconds (UTC).
+
+    Inverse of :func:`format_timestamp` at one-second granularity.
+    """
+    try:
+        parsed = time.strptime(text.strip(), _CTIME_FORMAT)
+    except ValueError as exc:
+        raise ValidationError(f"unparseable timestamp {text!r}") from exc
+    return calendar.timegm(parsed) - EPOCH
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human form used by the harness output.
+
+    >>> format_duration(475)
+    '7m55s'
+    >>> format_duration(-295)
+    '-4m55s'
+    >>> format_duration(32)
+    '32s'
+    """
+    sign = "-" if seconds < 0 else ""
+    s = abs(seconds)
+    minutes, rem = divmod(int(round(s)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{sign}{hours}h{minutes}m{rem}s"
+    if minutes:
+        return f"{sign}{minutes}m{rem}s"
+    return f"{sign}{rem}s"

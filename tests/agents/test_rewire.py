@@ -1,0 +1,61 @@
+"""Tests for run-time hierarchy reconfiguration (agents' homogeneous roles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.tasks.task import Environment
+
+
+class TestRewire:
+    def test_move_leaf_under_new_parent(self, grid):
+        hierarchy = grid.hierarchy
+        hierarchy.rewire("A3", "A2")
+        assert grid.agents["A3"].parent is grid.agents["A2"]
+        assert grid.agents["A3"] not in grid.agents["A1"].children
+        assert grid.agents["A3"] in grid.agents["A2"].children
+        assert hierarchy.depth("A3") == 2
+
+    def test_cannot_move_head(self, grid):
+        with pytest.raises(HierarchyError):
+            grid.hierarchy.rewire("A1", "A2")
+
+    def test_cannot_self_parent(self, grid):
+        with pytest.raises(HierarchyError):
+            grid.hierarchy.rewire("A2", "A2")
+
+    def test_cycle_rejected(self, grid):
+        grid.hierarchy.rewire("A3", "A2")
+        with pytest.raises(HierarchyError, match="cycle"):
+            grid.hierarchy.rewire("A2", "A3")
+
+    def test_unknown_agent_rejected(self, grid):
+        with pytest.raises(HierarchyError):
+            grid.hierarchy.rewire("ZZ", "A1")
+
+    def test_system_keeps_working_after_rewire(self, grid, sim, specs):
+        """Requests route correctly through the new topology."""
+        sim.run_until(1.0)
+        grid.hierarchy.rewire("A3", "A2")
+        rids = [
+            grid.portal.submit(
+                grid.agents["A3"], specs["sweep3d"].model, Environment.TEST,
+                sim.now + 40.0,
+            )
+            for _ in range(6)
+        ]
+        grid.drain()
+        assert all(grid.portal.result(r).success for r in rids)
+        # A3's only upward neighbour is now A2: any first-hop dispatch off
+        # A3 must go through A2, never directly to A1.
+        for rid in rids:
+            trace = grid.portal.result(rid).trace
+            if len(trace) > 1:
+                assert trace[1] == "A2"
+
+    def test_pull_reaches_new_neighbours(self, grid, sim):
+        grid.hierarchy.rewire("A3", "A2")
+        sim.run_until(10.5)  # next pull round
+        a3 = grid.agents["A3"]
+        assert grid.agents["A2"].endpoint in a3.registry

@@ -1,0 +1,88 @@
+"""Tests for the Fig. 7 case-study topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.casestudy import (
+    CASE_STUDY_PLATFORMS,
+    CASE_STUDY_TREE,
+    GridTopology,
+    case_study_topology,
+    scaled_topology,
+)
+
+
+class TestCaseStudyTopology:
+    def test_twelve_agents_sixteen_nodes(self):
+        topo = case_study_topology()
+        assert len(topo.agent_names) == 12
+        assert topo.total_nodes == 192
+        assert all(topo.nproc[name] == 16 for name in topo.agent_names)
+
+    def test_agent_name_order(self):
+        topo = case_study_topology()
+        assert topo.agent_names[:3] == ("S1", "S2", "S3")
+        assert topo.agent_names[-1] == "S12"  # numeric, not lexicographic
+
+    def test_fig7_platform_assignment(self):
+        assert CASE_STUDY_PLATFORMS["S1"] == "SGIOrigin2000"
+        assert CASE_STUDY_PLATFORMS["S4"] == "SunUltra10"
+        assert CASE_STUDY_PLATFORMS["S7"] == "SunUltra5"
+        assert CASE_STUDY_PLATFORMS["S10"] == "SunUltra1"
+        assert CASE_STUDY_PLATFORMS["S12"] == "SunSPARCstation2"
+
+    def test_s1_heads_the_hierarchy(self):
+        assert CASE_STUDY_TREE["S1"] is None
+        heads = [n for n, p in CASE_STUDY_TREE.items() if p is None]
+        assert heads == ["S1"]
+
+    def test_platform_lookup(self):
+        topo = case_study_topology()
+        assert topo.platform("S11").name == "SunSPARCstation2"
+        assert topo.platform("S1").speed_factor == 1.0
+
+    def test_validation_platform_coverage(self):
+        with pytest.raises(ExperimentError):
+            GridTopology(
+                platforms={"A": "SGIOrigin2000"},
+                parent_of={"A": None, "B": "A"},
+                nproc={"A": 4},
+            )
+
+    def test_validation_unknown_platform(self):
+        with pytest.raises(ExperimentError):
+            GridTopology(
+                platforms={"A": "Cray"},
+                parent_of={"A": None},
+                nproc={"A": 4},
+            )
+
+
+class TestScaledTopology:
+    def test_size_and_head(self):
+        topo = scaled_topology(10)
+        assert len(topo.agent_names) == 10
+        assert topo.parent_of["G1"] is None
+
+    def test_branching_structure(self):
+        topo = scaled_topology(7, branching=2)
+        assert topo.parent_of["G2"] == "G1"
+        assert topo.parent_of["G3"] == "G1"
+        assert topo.parent_of["G4"] == "G2"
+        assert topo.parent_of["G7"] == "G3"
+
+    def test_platform_mix(self):
+        topo = scaled_topology(10)
+        assert len({topo.platforms[n] for n in topo.agent_names}) == 5
+
+    def test_single_agent(self):
+        topo = scaled_topology(1)
+        assert topo.parent_of == {"G1": None}
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ExperimentError):
+            scaled_topology(0)
+        with pytest.raises(ExperimentError):
+            scaled_topology(3, branching=0)

@@ -1,0 +1,61 @@
+"""Tests for table/figure regeneration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.tables import (
+    check_paper_trends,
+    figure8_series,
+    figure9_series,
+    figure10_series,
+    run_table3,
+    table1_rows,
+    validate_table1,
+)
+from repro.pace.workloads import TABLE1_TIMES
+
+
+class TestTable1:
+    def test_rows_match_published_values(self):
+        for name, bounds, times in table1_rows():
+            assert times == list(map(float, TABLE1_TIMES[name]))
+            assert bounds[0] < bounds[1]
+
+    def test_validate_table1_passes(self):
+        validate_table1()  # must not raise
+
+    def test_seven_rows(self):
+        assert len(table1_rows()) == 7
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    return run_table3(request_count=18)
+
+
+class TestFigureSeries:
+    def test_series_cover_all_agents(self, tiny_results):
+        for series_fn in (figure8_series, figure9_series, figure10_series):
+            series = series_fn(tiny_results)
+            assert set(series) == {f"S{i}" for i in range(1, 13)} | {"Total"}
+            assert all(len(v) == 3 for v in series.values())
+
+    def test_upsilon_in_percent_range(self, tiny_results):
+        for values in figure9_series(tiny_results).values():
+            for v in values:
+                assert 0.0 <= v <= 100.0
+
+
+class TestTrendChecks:
+    def test_returns_named_checks(self, tiny_results):
+        checks = check_paper_trends(tiny_results)
+        names = {c.name for c in checks}
+        assert "epsilon-improves" in names
+        assert "balance-improves" in names
+        assert all(isinstance(c.holds, bool) for c in checks)
+
+    def test_wrong_arity_rejected(self, tiny_results):
+        with pytest.raises(ExperimentError):
+            check_paper_trends(tiny_results[:2])

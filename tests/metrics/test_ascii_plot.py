@@ -1,0 +1,73 @@
+"""Tests for the ASCII figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.ascii_plot import ascii_line_chart
+
+
+@pytest.fixture
+def series():
+    return {
+        "S1": [5.0, 6.0, 96.0],
+        "S11": [92.0, 94.0, 63.0],
+        "S5": [19.0, 20.0, 76.0],
+        "Total": [32.0, 34.0, 70.0],
+    }
+
+
+class TestAsciiLineChart:
+    def test_contains_markers_and_legend(self, series):
+        art = ascii_line_chart(series, highlight=["S1", "S11"])
+        assert "#" in art          # total curve
+        assert "a" in art and "b" in art  # highlighted curves
+        assert "·" in art          # background curve
+        assert "a = S1" in art and "b = S11" in art
+
+    def test_axis_bounds(self, series):
+        art = ascii_line_chart(series)
+        assert "96" in art  # max
+        assert "5" in art   # min
+
+    def test_title_and_x_labels(self, series):
+        art = ascii_line_chart(
+            series, title="Fig 9", x_labels=["exp 1", "exp 2", "exp 3"]
+        )
+        assert art.splitlines()[0] == "Fig 9"
+        assert "exp 1" in art and "exp 3" in art
+
+    def test_constant_series_ok(self):
+        art = ascii_line_chart({"Total": [5.0, 5.0]})
+        assert "#" in art
+
+    def test_dimensions(self, series):
+        art = ascii_line_chart(series, width=40, height=10)
+        plot_rows = [l for l in art.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+
+    def test_nan_points_skipped(self, series):
+        series["S9"] = [float("nan"), 10.0, 20.0]
+        art = ascii_line_chart(series)
+        assert "#" in art  # still renders
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_chart({"a": [float("nan"), float("nan")]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_chart({})
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_chart({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_chart({"a": [1.0]})
+
+    def test_too_small_rejected(self, series):
+        with pytest.raises(ValidationError):
+            ascii_line_chart(series, width=4)

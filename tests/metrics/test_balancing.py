@@ -1,0 +1,119 @@
+"""Tests for ε, υ, β (eqs. 11–15)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.balancing import compute_metrics, node_utilisations
+from repro.metrics.records import CompletionRecord
+from repro.tasks.execution import BusyInterval
+
+
+def record(resource, completion, deadline, nodes=(0,), start=0.0, tid=0):
+    return CompletionRecord(
+        task_id=tid, application="app", resource_name=resource,
+        node_ids=nodes, start=start, completion=completion, deadline=deadline,
+    )
+
+
+class TestNodeUtilisations:
+    def test_basic(self):
+        intervals = [BusyInterval(0, 0.0, 50.0, 1), BusyInterval(1, 0.0, 100.0, 2)]
+        utils = node_utilisations(intervals, 2, horizon=100.0)
+        assert utils.tolist() == [0.5, 1.0]
+
+    def test_clips_to_horizon(self):
+        intervals = [BusyInterval(0, 50.0, 150.0, 1)]
+        utils = node_utilisations(intervals, 1, horizon=100.0)
+        assert utils[0] == 0.5
+
+    def test_idle_node_zero(self):
+        utils = node_utilisations([], 3, horizon=10.0)
+        assert utils.tolist() == [0.0, 0.0, 0.0]
+
+    def test_accumulates_per_node(self):
+        intervals = [BusyInterval(0, 0.0, 10.0, 1), BusyInterval(0, 20.0, 30.0, 2)]
+        assert node_utilisations(intervals, 1, horizon=100.0)[0] == pytest.approx(0.2)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValidationError):
+            node_utilisations([], 1, horizon=0.0)
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(ValidationError):
+            node_utilisations([BusyInterval(5, 0.0, 1.0, 1)], 2, horizon=10.0)
+
+
+class TestComputeMetrics:
+    def test_two_resource_grid(self):
+        records = [
+            record("A", completion=80.0, deadline=100.0, tid=0),  # ε +20
+            record("B", completion=100.0, deadline=60.0, tid=1),  # ε −40
+        ]
+        busy = {
+            "A": [BusyInterval(0, 0.0, 80.0, 0), BusyInterval(1, 0.0, 80.0, 0)],
+            "B": [BusyInterval(0, 0.0, 100.0, 1)],
+        }
+        metrics = compute_metrics(records, busy, {"A": 2, "B": 2})
+        assert metrics.horizon == 100.0
+        a = metrics.resource("A")
+        assert a.epsilon == 20.0
+        assert a.upsilon == pytest.approx(0.8)
+        assert a.beta == pytest.approx(1.0)  # both nodes equally busy
+        b = metrics.resource("B")
+        assert b.epsilon == -40.0
+        assert b.upsilon == pytest.approx(0.5)
+        assert b.beta == pytest.approx(0.0)  # 1 busy, 1 idle: d == mean
+        total = metrics.total
+        assert total.epsilon == pytest.approx(-10.0)
+        assert total.upsilon == pytest.approx((0.8 + 0.8 + 1.0 + 0.0) / 4)
+        assert total.n_tasks == 2
+
+    def test_global_horizon_penalises_early_finisher(self):
+        """A fast resource idling while a slow one grinds scores low υ."""
+        records = [
+            record("fast", completion=10.0, deadline=50.0, tid=0),
+            record("slow", completion=100.0, deadline=50.0, tid=1),
+        ]
+        busy = {
+            "fast": [BusyInterval(0, 0.0, 10.0, 0)],
+            "slow": [BusyInterval(0, 0.0, 100.0, 1)],
+        }
+        metrics = compute_metrics(records, busy, {"fast": 1, "slow": 1})
+        assert metrics.resource("fast").upsilon == pytest.approx(0.1)
+        assert metrics.resource("slow").upsilon == pytest.approx(1.0)
+
+    def test_resource_without_tasks_has_nan_epsilon(self):
+        records = [record("A", completion=10.0, deadline=20.0)]
+        busy = {"A": [BusyInterval(0, 0.0, 10.0, 0)]}
+        metrics = compute_metrics(records, busy, {"A": 1, "B": 1})
+        assert np.isnan(metrics.resource("B").epsilon)
+        assert metrics.resource("B").upsilon == 0.0
+        assert metrics.resource("B").beta == 1.0  # all-idle counts balanced
+
+    def test_explicit_horizon(self):
+        records = [record("A", completion=10.0, deadline=20.0)]
+        busy = {"A": [BusyInterval(0, 0.0, 10.0, 0)]}
+        metrics = compute_metrics(records, busy, {"A": 1}, horizon=40.0)
+        assert metrics.resource("A").upsilon == pytest.approx(0.25)
+
+    def test_no_records_requires_horizon(self):
+        with pytest.raises(ValidationError):
+            compute_metrics([], {}, {"A": 1})
+
+    def test_unknown_resource_in_busy_rejected(self):
+        with pytest.raises(ValidationError):
+            compute_metrics(
+                [record("A", 10.0, 20.0)],
+                {"Z": []},
+                {"A": 1},
+            )
+
+    def test_percent_properties(self):
+        records = [record("A", completion=10.0, deadline=20.0)]
+        busy = {"A": [BusyInterval(0, 0.0, 10.0, 0)]}
+        metrics = compute_metrics(records, busy, {"A": 1})
+        assert metrics.resource("A").upsilon_percent == pytest.approx(100.0)
+        assert metrics.total.beta_percent == pytest.approx(100.0)

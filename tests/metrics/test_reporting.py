@@ -1,0 +1,88 @@
+"""Tests for the Table 3 / Figs 8–10 reporting layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics.balancing import compute_metrics
+from repro.metrics.records import CompletionRecord
+from repro.metrics.reporting import (
+    figure_series,
+    render_figure_series,
+    render_table3,
+    table3_rows,
+)
+from repro.tasks.execution import BusyInterval
+
+
+def fake_metrics(completion_a: float, completion_b: float):
+    records = [
+        CompletionRecord(0, "app", "A", (0,), 0.0, completion_a, 50.0),
+        CompletionRecord(1, "app", "B", (0,), 0.0, completion_b, 50.0),
+    ]
+    busy = {
+        "A": [BusyInterval(0, 0.0, completion_a, 0)],
+        "B": [BusyInterval(0, 0.0, completion_b, 1)],
+    }
+    return compute_metrics(records, busy, {"A": 1, "B": 1})
+
+
+@pytest.fixture
+def results():
+    return [fake_metrics(40.0, 80.0), fake_metrics(30.0, 60.0)]
+
+
+class TestTable3Rows:
+    def test_layout(self, results):
+        rows = table3_rows(results)
+        names = [name for name, _ in rows]
+        assert names == ["A", "B", "Total"]
+        # 3 columns per experiment.
+        assert all(len(cells) == 6 for _, cells in rows)
+
+    def test_values_flow_through(self, results):
+        rows = dict(table3_rows(results))
+        assert rows["A"][0] == 10.0  # ε of A in experiment 1 (50 − 40)
+        assert rows["A"][3] == 20.0  # experiment 2 (50 − 30)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            table3_rows([])
+
+    def test_mismatched_resources_rejected(self, results):
+        other = compute_metrics(
+            [CompletionRecord(0, "app", "C", (0,), 0.0, 10.0, 50.0)],
+            {"C": [BusyInterval(0, 0.0, 10.0, 0)]},
+            {"C": 1},
+        )
+        with pytest.raises(ValidationError):
+            table3_rows([results[0], other])
+
+
+class TestRender:
+    def test_render_table3(self, results):
+        text = render_table3(results)
+        assert "Table 3" in text
+        assert "e1 ε(s)" in text and "e2 β(%)" in text
+        assert "Total" in text
+
+    def test_render_figure(self, results):
+        text = render_figure_series(results, "upsilon", title="Fig 9")
+        assert "Fig 9" in text
+        assert "exp 1" in text and "exp 2" in text
+
+
+class TestFigureSeries:
+    def test_epsilon_series(self, results):
+        series = figure_series(results, "epsilon")
+        assert series["A"] == [10.0, 20.0]
+        assert "Total" in series
+
+    def test_upsilon_is_percent(self, results):
+        series = figure_series(results, "upsilon")
+        assert series["B"][0] == pytest.approx(100.0)
+
+    def test_unknown_metric_rejected(self, results):
+        with pytest.raises(ValidationError):
+            figure_series(results, "throughput")

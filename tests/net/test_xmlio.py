@@ -1,0 +1,107 @@
+"""Tests for the Fig. 5/6 XML templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.net.xmlio import (
+    parse_request,
+    parse_service_info,
+    request_to_xml,
+    service_info_to_xml,
+)
+
+
+@pytest.fixture
+def service_record():
+    # Mirrors Fig. 5's example values.
+    return {
+        "agent_address": "gem.dcs.warwick.ac.uk",
+        "agent_port": 1000,
+        "local_address": "gem.dcs.warwick.ac.uk",
+        "local_port": 10000,
+        "type": "SunUltra10",
+        "nproc": 16,
+        "environments": ["mpi", "pvm", "test"],
+        "freetime": 120.0,
+    }
+
+
+@pytest.fixture
+def request_record():
+    # Mirrors Fig. 6's example values.
+    return {
+        "name": "sweep3d",
+        "binary_file": "/dcs/junwei/agentgrid/binary/sweep3d",
+        "input_file": "/dcs/junwei/agentgrid/binary/input.50",
+        "model_name": "/dcs/junwei/agentgrid/model/sweep3d",
+        "environment": "test",
+        "deadline": 127.0,
+        "email": "junwei@dcs.warwick.ac.uk",
+    }
+
+
+class TestServiceInfo:
+    def test_round_trip(self, service_record):
+        assert parse_service_info(service_info_to_xml(service_record)) == service_record
+
+    def test_template_elements(self, service_record):
+        doc = service_info_to_xml(service_record)
+        for tag in ("agentgrid", "agent", "local", "address", "port", "type",
+                    "nproc", "environment", "freetime"):
+            assert f"<{tag}" in doc, tag
+        assert 'type="service"' in doc
+
+    def test_freetime_is_ctime_style(self, service_record):
+        doc = service_info_to_xml(service_record)
+        assert "2001" in doc  # the virtual epoch's era (Figs. 5-6)
+
+    def test_missing_key_rejected(self, service_record):
+        del service_record["nproc"]
+        with pytest.raises(SerializationError):
+            service_info_to_xml(service_record)
+
+    def test_no_environments_rejected(self, service_record):
+        service_record["environments"] = []
+        doc = service_info_to_xml(service_record)
+        with pytest.raises(SerializationError):
+            parse_service_info(doc)
+
+    def test_wrong_type_attribute_rejected(self, request_record):
+        doc = request_to_xml(request_record)
+        with pytest.raises(SerializationError):
+            parse_service_info(doc)
+
+
+class TestRequest:
+    def test_round_trip(self, request_record):
+        assert parse_request(request_to_xml(request_record)) == request_record
+
+    def test_template_elements(self, request_record):
+        doc = request_to_xml(request_record)
+        for tag in ("application", "binary", "inputfile", "performance",
+                    "datatype", "modelname", "requirement", "deadline", "email"):
+            assert f"<{tag}" in doc, tag
+        assert 'type="request"' in doc
+        assert "pacemodel" in doc
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(SerializationError):
+            parse_request("<agentgrid type='request'><oops>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(SerializationError):
+            parse_request("<grid type='request'></grid>")
+
+    def test_unsupported_datatype_rejected(self, request_record):
+        doc = request_to_xml(request_record).replace("pacemodel", "nwsmodel")
+        with pytest.raises(SerializationError):
+            parse_request(doc)
+
+    def test_missing_deadline_rejected(self, request_record):
+        doc = request_to_xml(request_record)
+        start = doc.index("<deadline>")
+        end = doc.index("</deadline>") + len("</deadline>")
+        with pytest.raises(SerializationError):
+            parse_request(doc[:start] + doc[end:])

@@ -1,0 +1,90 @@
+"""Tests for the demand-driven evaluation cache (§2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.pace.cache import EvaluationCache
+
+
+class TestGetOrCompute:
+    def test_miss_then_hit(self):
+        cache = EvaluationCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7.0
+
+        assert cache.get_or_compute("k", compute) == 7.0
+        assert cache.get_or_compute("k", compute) == 7.0
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_keys(self):
+        cache = EvaluationCache()
+        cache.get_or_compute(("a", 1), lambda: 1.0)
+        cache.get_or_compute(("a", 2), lambda: 2.0)
+        assert cache.size == 2
+
+    def test_hit_rate(self):
+        cache = EvaluationCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.get_or_compute("k", lambda: 1.0)
+        cache.get_or_compute("k", lambda: 1.0)
+        cache.get_or_compute("k", lambda: 1.0)
+        assert cache.stats.hit_rate == pytest.approx(2.0 / 3.0)
+
+
+class TestCapacity:
+    def test_unbounded_by_default(self):
+        cache = EvaluationCache()
+        for i in range(1000):
+            cache.get_or_compute(i, lambda i=i: float(i))
+        assert cache.size == 1000
+        assert cache.stats.evictions == 0
+
+    def test_bounded_evicts_oldest(self):
+        cache = EvaluationCache(max_size=2)
+        cache.get_or_compute("a", lambda: 1.0)
+        cache.get_or_compute("b", lambda: 2.0)
+        cache.get_or_compute("c", lambda: 3.0)
+        assert cache.size == 2
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_bad_max_size_rejected(self):
+        with pytest.raises(ValidationError):
+            EvaluationCache(max_size=0)
+
+
+class TestManagement:
+    def test_peek_does_not_count(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("k", lambda: 1.0)
+        assert cache.peek("k") == 1.0
+        assert cache.peek("missing") is None
+        assert cache.stats.requests == 1
+
+    def test_invalidate(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("k", lambda: 1.0)
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        assert "k" not in cache
+
+    def test_clear_preserves_stats(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("k", lambda: 1.0)
+        cache.clear()
+        assert cache.size == 0
+        assert cache.stats.misses == 1
+
+    def test_stats_reset(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("k", lambda: 1.0)
+        cache.stats.reset()
+        assert cache.stats.requests == 0

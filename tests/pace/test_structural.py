@@ -1,0 +1,115 @@
+"""Tests for structural (step-walking) application models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.pace.hardware import SGI_ORIGIN_2000, SUN_SPARC_STATION_2
+from repro.pace.structural import (
+    Broadcast,
+    Exchange,
+    ParallelCompute,
+    Reduction,
+    SerialCompute,
+    StructuralModel,
+)
+
+
+class TestSteps:
+    def test_serial_compute_independent_of_nproc(self):
+        step = SerialCompute(mflop=400.0)
+        assert step.time(1, SGI_ORIGIN_2000) == step.time(16, SGI_ORIGIN_2000)
+        assert step.time(1, SGI_ORIGIN_2000) == 1.0  # 400 Mflop / 400 Mflop/s
+
+    def test_parallel_compute_scales(self):
+        step = ParallelCompute(mflop=400.0)
+        assert step.time(4, SGI_ORIGIN_2000) == pytest.approx(
+            step.time(1, SGI_ORIGIN_2000) / 4
+        )
+
+    def test_parallel_efficiency_below_one_slows_scaling(self):
+        ideal = ParallelCompute(mflop=400.0, efficiency=1.0)
+        lossy = ParallelCompute(mflop=400.0, efficiency=0.8)
+        assert lossy.time(8, SGI_ORIGIN_2000) > ideal.time(8, SGI_ORIGIN_2000)
+        assert lossy.time(1, SGI_ORIGIN_2000) == ideal.time(1, SGI_ORIGIN_2000)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ModelError):
+            ParallelCompute(mflop=1.0, efficiency=0.0)
+        with pytest.raises(ModelError):
+            ParallelCompute(mflop=1.0, efficiency=1.5)
+
+    def test_broadcast_zero_on_single_node(self):
+        assert Broadcast(mbytes=1.0).time(1, SGI_ORIGIN_2000) == 0.0
+
+    def test_broadcast_log_rounds(self):
+        step = Broadcast(mbytes=0.0)
+        lat = SGI_ORIGIN_2000.network_latency
+        assert step.time(2, SGI_ORIGIN_2000) == pytest.approx(lat)
+        assert step.time(8, SGI_ORIGIN_2000) == pytest.approx(3 * lat)
+        assert step.time(9, SGI_ORIGIN_2000) == pytest.approx(4 * lat)
+
+    def test_reduction_mirrors_broadcast(self):
+        b = Broadcast(mbytes=2.0)
+        r = Reduction(mbytes=2.0)
+        assert b.time(8, SGI_ORIGIN_2000) == r.time(8, SGI_ORIGIN_2000)
+
+    def test_exchange_caps_partners(self):
+        step = Exchange(mbytes=1.0, neighbours=4)
+        # With 2 nodes there is only one possible partner.
+        two = step.time(2, SGI_ORIGIN_2000)
+        many = step.time(16, SGI_ORIGIN_2000)
+        assert many == pytest.approx(4 * two)
+
+
+class TestStructuralModel:
+    def test_speedup_then_saturation(self):
+        model = StructuralModel(
+            "halo",
+            steps=[
+                SerialCompute(mflop=40.0),
+                ParallelCompute(mflop=4000.0),
+                Exchange(mbytes=1.0),
+            ],
+            iterations=5,
+        )
+        t1 = model.predict(1, SGI_ORIGIN_2000)
+        t4 = model.predict(4, SGI_ORIGIN_2000)
+        t16 = model.predict(16, SGI_ORIGIN_2000)
+        assert t4 < t1
+        assert t16 < t4
+        # Amdahl: speedup bounded by the serial fraction.
+        assert t16 > (40.0 * 5) / SGI_ORIGIN_2000.flop_rate
+
+    def test_slow_platform_slower(self):
+        model = StructuralModel("k", steps=[ParallelCompute(mflop=100.0)])
+        assert model.predict(4, SUN_SPARC_STATION_2) > model.predict(
+            4, SGI_ORIGIN_2000
+        )
+
+    def test_iterations_multiply(self):
+        one = StructuralModel("k", steps=[SerialCompute(mflop=10.0)], iterations=1)
+        ten = StructuralModel("k", steps=[SerialCompute(mflop=10.0)], iterations=10)
+        assert ten.predict(1, SGI_ORIGIN_2000) == pytest.approx(
+            10 * one.predict(1, SGI_ORIGIN_2000)
+        )
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ModelError):
+            StructuralModel("k", steps=[])
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ModelError):
+            StructuralModel("k", steps=[SerialCompute(mflop=1.0)], iterations=0)
+
+    def test_communication_creates_v_shape(self):
+        # Heavy per-node communication: an interior optimum appears.
+        model = StructuralModel(
+            "comm-bound",
+            steps=[ParallelCompute(mflop=50.0), Broadcast(mbytes=20.0)],
+            iterations=100,
+        )
+        times = [model.predict(k, SGI_ORIGIN_2000) for k in range(1, 17)]
+        best = times.index(min(times)) + 1
+        assert 1 < best < 16

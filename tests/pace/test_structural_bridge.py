@@ -1,0 +1,68 @@
+"""Tests for the parametric → structural model bridge."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.pace.fitting import fit_comm_overhead
+from repro.pace.hardware import SGI_ORIGIN_2000, SUN_SPARC_STATION_2
+from repro.pace.parametric import CommOverheadModel
+from repro.pace.structural import structural_from_parametric
+from repro.pace.workloads import TABLE1_TIMES
+
+
+class TestBridgeExactness:
+    @given(
+        serial=st.floats(0.0, 50.0),
+        parallel=st.floats(0.1, 200.0),
+        # Overheads below one message latency are physically unrealisable
+        # (documented); draw either zero or clearly-representable values.
+        overhead=st.one_of(st.just(0.0), st.floats(1e-3, 5.0)),
+        nproc=st.integers(1, 32),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_parametric_on_calibration_platform(
+        self, serial, parallel, overhead, nproc
+    ):
+        parametric = CommOverheadModel("p", serial, parallel, overhead)
+        structural = structural_from_parametric(
+            "p", serial, parallel, overhead, SGI_ORIGIN_2000
+        )
+        assert structural.predict(nproc, SGI_ORIGIN_2000) == pytest.approx(
+            parametric.predict(nproc, SGI_ORIGIN_2000), rel=1e-6
+        )
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ModelError):
+            structural_from_parametric("p", 0.0, 0.0, 1.0, SGI_ORIGIN_2000)
+
+
+class TestBridgePhysicality:
+    def test_divergence_off_calibration_platform(self):
+        """Computation and communication scale differently off-platform.
+
+        The parametric family applies one speed factor to everything; the
+        structural realisation charges computation at the target's flop
+        rate and communication at its network — so the two must *disagree*
+        on a platform whose compute/network ratio differs from the SGI's.
+        """
+        parametric = CommOverheadModel("p", 2.0, 30.0, 0.5)
+        structural = structural_from_parametric("p", 2.0, 30.0, 0.5, SGI_ORIGIN_2000)
+        p16 = parametric.predict(16, SUN_SPARC_STATION_2)
+        s16 = structural.predict(16, SUN_SPARC_STATION_2)
+        assert p16 != pytest.approx(s16, rel=0.01)
+
+    def test_round_trip_through_fit(self):
+        """Table 1 curve → parametric fit → structural model ≈ same curve."""
+        fit = fit_comm_overhead("improc", TABLE1_TIMES["improc"])
+        serial, parallel, overhead = fit.model.parameters  # type: ignore[attr-defined]
+        structural = structural_from_parametric(
+            "improc", serial, parallel, overhead, SGI_ORIGIN_2000
+        )
+        for k in range(1, 17):
+            assert structural.predict(k, SGI_ORIGIN_2000) == pytest.approx(
+                fit.model.predict(k, SGI_ORIGIN_2000), rel=1e-6
+            )

@@ -1,0 +1,139 @@
+"""Property-based tests for the substrates: stats, sim engine, XML, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.balancing import node_utilisations
+from repro.net.xmlio import (
+    parse_request,
+    parse_service_info,
+    request_to_xml,
+    service_info_to_xml,
+)
+from repro.sim.engine import Engine
+from repro.tasks.execution import BusyInterval
+from repro.utils.stats import balance_level, mean_square_deviation, relative_deviation
+
+finite_floats = st.floats(0.01, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestStatsProperties:
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=200)
+    def test_balance_level_at_most_one(self, values):
+        assert balance_level(values) <= 1.0 + 1e-12
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=200)
+    def test_msd_non_negative(self, values):
+        assert mean_square_deviation(values) >= 0.0
+
+    @given(
+        values=st.lists(finite_floats, min_size=2, max_size=30),
+        scale=st.floats(0.1, 1000.0),
+    )
+    @settings(max_examples=150)
+    def test_relative_deviation_scale_invariant(self, values, scale):
+        base = relative_deviation(values)
+        scaled = relative_deviation([v * scale for v in values])
+        assert scaled == pytest.approx(base, rel=1e-6)
+
+    @given(value=finite_floats, count=st.integers(1, 30))
+    @settings(max_examples=100)
+    def test_uniform_values_perfectly_balanced(self, value, count):
+        assert balance_level([value] * count) == pytest.approx(1.0)
+
+
+class TestEngineProperties:
+    @given(
+        times=st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=50),
+    )
+    @settings(max_examples=100)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        engine = Engine()
+        fired = []
+        for t in times:
+            engine.schedule(t, lambda t=t: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+
+class TestXmlProperties:
+    hostname = st.from_regex(r"[a-z][a-z0-9.\-]{0,30}", fullmatch=True)
+
+    @given(
+        agent_address=hostname,
+        agent_port=st.integers(1, 65535),
+        local_port=st.integers(1, 65535),
+        hw=st.sampled_from(
+            ["SGIOrigin2000", "SunUltra10", "SunUltra5", "SunUltra1"]
+        ),
+        nproc=st.integers(1, 1024),
+        envs=st.lists(
+            st.sampled_from(["mpi", "pvm", "test"]), min_size=1, max_size=3, unique=True
+        ),
+        freetime=st.integers(0, 10**7),
+    )
+    @settings(max_examples=100)
+    def test_service_info_round_trip(
+        self, agent_address, agent_port, local_port, hw, nproc, envs, freetime
+    ):
+        record = {
+            "agent_address": agent_address,
+            "agent_port": agent_port,
+            "local_address": agent_address,
+            "local_port": local_port,
+            "type": hw,
+            "nproc": nproc,
+            "environments": envs,
+            "freetime": float(freetime),
+        }
+        assert parse_service_info(service_info_to_xml(record)) == record
+
+    @given(
+        name=st.from_regex(r"[a-z][a-z0-9_\-]{0,20}", fullmatch=True),
+        deadline=st.integers(0, 10**7),
+        env=st.sampled_from(["mpi", "pvm", "test"]),
+    )
+    @settings(max_examples=100)
+    def test_request_round_trip(self, name, deadline, env):
+        record = {
+            "name": name,
+            "binary_file": f"/grid/bin/{name}",
+            "input_file": f"/grid/in/{name}",
+            "model_name": f"/grid/model/{name}",
+            "environment": env,
+            "deadline": float(deadline),
+            "email": "user@portal.grid",
+        }
+        assert parse_request(request_to_xml(record)) == record
+
+
+class TestUtilisationProperties:
+    @given(
+        data=st.data(),
+        n_nodes=st.integers(1, 8),
+        horizon=st.floats(1.0, 1000.0),
+    )
+    @settings(max_examples=100)
+    def test_utilisation_in_unit_interval_without_overlap(
+        self, data, n_nodes, horizon
+    ):
+        intervals = []
+        for nid in range(n_nodes):
+            cursor = 0.0
+            for _ in range(data.draw(st.integers(0, 4), label=f"count{nid}")):
+                gap = data.draw(st.floats(0.0, 50.0), label="gap")
+                width = data.draw(st.floats(0.01, 50.0), label="width")
+                intervals.append(
+                    BusyInterval(nid, cursor + gap, cursor + gap + width, 0)
+                )
+                cursor += gap + width
+        utils = node_utilisations(intervals, n_nodes, horizon)
+        assert np.all(utils >= 0.0)
+        assert np.all(utils <= 1.0 + 1e-9)

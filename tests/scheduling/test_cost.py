@@ -1,0 +1,122 @@
+"""Tests for the combined cost function (eq. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.scheduling.coding import SolutionString
+from repro.scheduling.cost import (
+    CostWeights,
+    deadline_penalty,
+    exponential_idle_weight,
+    linear_idle_weight,
+    schedule_cost,
+    uniform_idle_weight,
+    weighted_idle_time,
+)
+from repro.scheduling.schedule import build_schedule
+
+
+def _mask(bits: str) -> np.ndarray:
+    return np.array([b == "1" for b in bits])
+
+
+def const_duration(seconds: float):
+    return lambda tid, k: seconds
+
+
+@pytest.fixture
+def gapped_schedule():
+    """Node 1 idles [0, 4) before task 1; makespan 8."""
+    sol = SolutionString([0, 1], {0: _mask("10"), 1: _mask("11")})
+    return build_schedule(sol, [0.0, 0.0], const_duration(4.0))
+
+
+class TestCostWeights:
+    def test_total(self):
+        assert CostWeights(1.0, 2.0, 3.0).total == 6.0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            CostWeights(0.0, 0.0, 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            CostWeights(makespan=-1.0)
+
+
+class TestIdleWeighters:
+    def test_uniform_is_duration(self):
+        assert uniform_idle_weight(2.0, 5.0, 100.0) == 3.0
+
+    def test_linear_front_pocket_counts_nearly_full(self):
+        # Pocket [0, 1) with horizon 100: weight ≈ 1 − 1/200.
+        assert linear_idle_weight(0.0, 1.0, 100.0) == pytest.approx(1.0 - 0.005)
+
+    def test_linear_late_pocket_counts_nearly_zero(self):
+        late = linear_idle_weight(99.0, 100.0, 100.0)
+        assert late == pytest.approx(0.005)
+
+    def test_linear_earlier_weighs_more(self):
+        early = linear_idle_weight(0.0, 10.0, 100.0)
+        late = linear_idle_weight(80.0, 90.0, 100.0)
+        assert early > late
+
+    def test_linear_zero_horizon(self):
+        assert linear_idle_weight(0.0, 1.0, 0.0) == 0.0
+
+    def test_exponential_earlier_weighs_more(self):
+        early = exponential_idle_weight(0.0, 10.0, 100.0)
+        late = exponential_idle_weight(80.0, 90.0, 100.0)
+        assert early > late
+
+    def test_exponential_bounded_by_duration(self):
+        assert exponential_idle_weight(0.0, 10.0, 100.0) <= 10.0
+
+
+class TestWeightedIdleTime:
+    def test_uniform_matches_total_idle(self, gapped_schedule):
+        phi = weighted_idle_time(gapped_schedule, uniform_idle_weight)
+        assert phi == gapped_schedule.total_idle() == 4.0
+
+    def test_linear_weights_front_pocket(self, gapped_schedule):
+        # Pocket [0,4) with horizon 8: ∫(1 − t/8) = 4 − 16/16 = 3.
+        phi = weighted_idle_time(gapped_schedule, linear_idle_weight)
+        assert phi == pytest.approx(3.0)
+
+
+class TestDeadlinePenalty:
+    def test_no_overrun(self, gapped_schedule):
+        assert deadline_penalty(gapped_schedule, {0: 10.0, 1: 10.0}) == 0.0
+
+    def test_overrun_sum(self, gapped_schedule):
+        # Completions: 4 and 8.
+        assert deadline_penalty(gapped_schedule, {0: 2.0, 1: 5.0}) == 5.0
+
+    def test_missing_deadline_rejected(self, gapped_schedule):
+        with pytest.raises(ValidationError):
+            deadline_penalty(gapped_schedule, {0: 2.0})
+
+
+class TestScheduleCost:
+    def test_combined_value(self, gapped_schedule):
+        breakdown = schedule_cost(
+            gapped_schedule, {0: 2.0, 1: 5.0}, CostWeights(1.0, 1.0, 1.0)
+        )
+        assert breakdown.makespan == 8.0
+        assert breakdown.weighted_idle == pytest.approx(3.0)
+        assert breakdown.deadline_penalty == 5.0
+        assert breakdown.combined == pytest.approx((8.0 + 3.0 + 5.0) / 3.0)
+
+    def test_weights_shift_emphasis(self, gapped_schedule):
+        deadlines = {0: 2.0, 1: 5.0}
+        heavy_deadline = schedule_cost(
+            gapped_schedule, deadlines, CostWeights(0.0, 0.0, 1.0)
+        )
+        assert heavy_deadline.combined == 5.0
+        makespan_only = schedule_cost(
+            gapped_schedule, deadlines, CostWeights(1.0, 0.0, 0.0)
+        )
+        assert makespan_only.combined == 8.0

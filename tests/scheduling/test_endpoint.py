@@ -1,0 +1,144 @@
+"""Tests for the stand-alone scheduler endpoint (Fig. 3's communication module)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.net.message import Endpoint, Message, MessageKind
+from repro.net.payloads import RequestEnvelope, ServiceInfo, TaskResult
+from repro.net.transport import Transport
+from repro.pace.evaluation import EvaluationEngine
+from repro.pace.hardware import SGI_ORIGIN_2000
+from repro.pace.resource import ResourceModel
+from repro.scheduling.endpoint import SchedulerServer
+from repro.scheduling.scheduler import LocalScheduler, SchedulingPolicy
+from repro.tasks.task import Environment, TaskRequest
+
+
+@pytest.fixture
+def setup(sim, rng):
+    transport = Transport(sim)
+    scheduler = LocalScheduler(
+        sim,
+        ResourceModel.homogeneous("standalone", SGI_ORIGIN_2000, 4),
+        EvaluationEngine(),
+        policy=SchedulingPolicy.GA,
+        rng=rng,
+        generations_per_event=3,
+        environments=(Environment.TEST,),
+    )
+    server = SchedulerServer(scheduler, transport, Endpoint("sched.grid", 10000))
+    user = Endpoint("user.grid", 8000)
+    inbox = []
+    transport.register(user, inbox.append)
+    return transport, scheduler, server, user, inbox
+
+
+def make_envelope(specs, user, request_id=0, env=Environment.TEST, deadline=200.0):
+    return RequestEnvelope(
+        request_id=request_id,
+        request=TaskRequest(
+            application=specs["closure"].model,
+            environment=env,
+            deadline=deadline,
+        ),
+        reply_to=user,
+    )
+
+
+class TestDirectSubmission:
+    def test_request_executes_and_result_returns(self, setup, sim, specs):
+        transport, scheduler, server, user, inbox = setup
+        transport.send(
+            Message(
+                MessageKind.REQUEST,
+                user,
+                server.endpoint,
+                payload=make_envelope(specs, user),
+            )
+        )
+        sim.run()
+        assert len(inbox) == 1
+        result = inbox[0].payload
+        assert isinstance(result, TaskResult)
+        assert result.success
+        assert result.resource_name == "standalone"
+        assert result.trace == ("scheduler:standalone",)
+
+    def test_unsupported_environment_rejected_with_result(self, setup, sim, specs):
+        transport, scheduler, server, user, inbox = setup
+        transport.send(
+            Message(
+                MessageKind.REQUEST,
+                user,
+                server.endpoint,
+                payload=make_envelope(specs, user, env=Environment.MPI),
+            )
+        )
+        sim.run()
+        assert server.rejected == 1
+        result = inbox[0].payload
+        assert not result.success
+
+    def test_pull_answered_with_service_info(self, setup, sim):
+        transport, scheduler, server, user, inbox = setup
+        transport.send(
+            Message(MessageKind.PULL, user, server.endpoint, payload=None)
+        )
+        sim.run()
+        info = inbox[0].payload
+        assert isinstance(info, ServiceInfo)
+        assert info.agent_endpoint == server.endpoint
+        assert info.scheduler_endpoint == server.endpoint
+        assert info.hardware_type == "SGIOrigin2000"
+
+    def test_unknown_kind_rejected(self, setup, sim):
+        transport, scheduler, server, user, inbox = setup
+        transport.send(
+            Message(MessageKind.RESULT, user, server.endpoint, payload=None)
+        )
+        with pytest.raises(TransportError):
+            sim.run()
+
+    def test_direct_scheduler_submission_not_answered(self, setup, sim, specs):
+        """Tasks submitted programmatically don't generate RESULT messages."""
+        transport, scheduler, server, user, inbox = setup
+        scheduler.submit(
+            TaskRequest(
+                application=specs["closure"].model,
+                environment=Environment.TEST,
+                deadline=100.0,
+            )
+        )
+        sim.run()
+        assert inbox == []
+
+    def test_portal_submits_directly_to_scheduler(self, setup, sim, specs):
+        """The 'functions independently' mode: portal → scheduler, no agent."""
+        from repro.agents.portal import UserPortal
+
+        transport, scheduler, server, user, inbox = setup
+        portal = UserPortal(transport, sim)
+        rid = portal.submit(
+            server, specs["closure"].model, Environment.TEST, 200.0
+        )
+        sim.run()
+        result = portal.result(rid)
+        assert result is not None and result.success
+        assert portal.envelope(rid).request.origin == "sched.grid:10000"
+
+    def test_multiple_requests(self, setup, sim, specs):
+        transport, scheduler, server, user, inbox = setup
+        for rid in range(5):
+            transport.send(
+                Message(
+                    MessageKind.REQUEST,
+                    user,
+                    server.endpoint,
+                    payload=make_envelope(specs, user, request_id=rid),
+                )
+            )
+        sim.run()
+        assert sorted(m.payload.request_id for m in inbox) == list(range(5))

@@ -1,0 +1,44 @@
+"""Tests for the dynamic fitness scaling (eq. 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.scheduling.fitness import scale_fitness
+
+
+class TestScaleFitness:
+    def test_best_gets_one_worst_gets_zero(self):
+        fitness = scale_fitness([10.0, 30.0, 20.0])
+        assert fitness[0] == 1.0  # lowest cost
+        assert fitness[1] == 0.0  # highest cost
+        assert 0.0 < fitness[2] < 1.0
+
+    def test_linear_in_cost(self):
+        fitness = scale_fitness([0.0, 5.0, 10.0])
+        assert fitness[1] == pytest.approx(0.5)
+
+    def test_converged_population_uniform(self):
+        assert np.all(scale_fitness([7.0, 7.0, 7.0]) == 1.0)
+
+    def test_single_individual(self):
+        assert scale_fitness([3.0])[0] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            scale_fitness([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            scale_fitness([1.0, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            scale_fitness([1.0, float("inf")])
+
+    def test_rescaling_is_shift_invariant(self):
+        a = scale_fitness([1.0, 2.0, 3.0])
+        b = scale_fitness([101.0, 102.0, 103.0])
+        assert np.allclose(a, b)

@@ -1,0 +1,116 @@
+"""Tests for schedule construction and the Gantt rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.scheduling.coding import SolutionString
+from repro.scheduling.schedule import build_schedule, render_gantt
+
+
+def _mask(bits: str) -> np.ndarray:
+    return np.array([b == "1" for b in bits])
+
+
+def const_duration(seconds: float):
+    return lambda tid, k: seconds
+
+
+class TestBuildSchedule:
+    def test_single_task(self):
+        sol = SolutionString([0], {0: _mask("110")})
+        sched = build_schedule(sol, [0.0, 0.0, 0.0], const_duration(10.0))
+        entry = sched.entry(0)
+        assert entry.node_ids == (0, 1)
+        assert (entry.start, entry.completion) == (0.0, 10.0)
+        assert sched.makespan == 10.0
+
+    def test_unison_start_at_latest_free(self):
+        sol = SolutionString([0], {0: _mask("11")})
+        sched = build_schedule(sol, [5.0, 2.0], const_duration(10.0))
+        assert sched.entry(0).start == 5.0
+
+    def test_sequencing_on_shared_nodes(self):
+        sol = SolutionString(
+            [0, 1], {0: _mask("10"), 1: _mask("10")}
+        )
+        sched = build_schedule(sol, [0.0, 0.0], const_duration(4.0))
+        assert sched.entry(0).start == 0.0
+        assert sched.entry(1).start == 4.0
+        assert sched.makespan == 8.0
+
+    def test_parallel_on_disjoint_nodes(self):
+        sol = SolutionString(
+            [0, 1], {0: _mask("10"), 1: _mask("01")}
+        )
+        sched = build_schedule(sol, [0.0, 0.0], const_duration(4.0))
+        assert sched.entry(1).start == 0.0
+        assert sched.makespan == 4.0
+
+    def test_duration_by_count(self):
+        durations = {1: 10.0, 2: 6.0}
+        sol = SolutionString([0], {0: _mask("11")})
+        sched = build_schedule(
+            sol, [0.0, 0.0], lambda tid, k: durations[k]
+        )
+        assert sched.entry(0).duration == 6.0
+
+    def test_idle_pockets_recorded(self):
+        # Task 0 occupies node 0 until 4; task 1 needs nodes 0+1 so node 1
+        # idles from 0 to 4.
+        sol = SolutionString(
+            [0, 1], {0: _mask("10"), 1: _mask("11")}
+        )
+        sched = build_schedule(sol, [0.0, 0.0], const_duration(4.0))
+        assert len(sched.idle_pockets) == 1
+        pocket = sched.idle_pockets[0]
+        assert (pocket.node_id, pocket.start, pocket.end) == (1, 0.0, 4.0)
+        assert sched.total_idle() == 4.0
+
+    def test_free_times_clamped_to_ref(self):
+        sol = SolutionString([0], {0: _mask("1")})
+        sched = build_schedule(sol, [-100.0], const_duration(5.0), ref_time=10.0)
+        assert sched.entry(0).start == 10.0
+        assert sched.relative_makespan == 5.0
+
+    def test_node_free_after(self):
+        sol = SolutionString([0], {0: _mask("10")})
+        sched = build_schedule(sol, [0.0, 3.0], const_duration(5.0))
+        assert sched.node_free_after(0) == 5.0
+        assert sched.node_free_after(1) == 3.0
+        with pytest.raises(ScheduleError):
+            sched.node_free_after(9)
+
+    def test_empty_schedule(self):
+        sched = build_schedule(
+            SolutionString([], {}), [1.0, 2.0], const_duration(1.0), ref_time=0.5
+        )
+        assert sched.makespan == 0.5
+        assert len(sched) == 0
+
+    def test_mask_length_mismatch_rejected(self):
+        sol = SolutionString([0], {0: _mask("111")})
+        with pytest.raises(ScheduleError):
+            build_schedule(sol, [0.0, 0.0], const_duration(1.0))
+
+    def test_non_positive_duration_rejected(self):
+        sol = SolutionString([0], {0: _mask("1")})
+        with pytest.raises(ScheduleError):
+            build_schedule(sol, [0.0], const_duration(0.0))
+
+
+class TestGantt:
+    def test_render_contains_nodes_and_ids(self):
+        sol = SolutionString(
+            [0, 1], {0: _mask("10"), 1: _mask("01")}
+        )
+        sched = build_schedule(sol, [0.0, 0.0], const_duration(4.0))
+        art = render_gantt(sched, n_nodes=2)
+        assert "P0" in art and "P1" in art
+        assert "makespan 4.0s" in art
+
+    def test_render_empty(self):
+        sched = build_schedule(SolutionString([], {}), [0.0], const_duration(1.0))
+        assert render_gantt(sched) == "(empty schedule)"

@@ -1,0 +1,134 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(3.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [3.5]
+        assert sim.now == 3.5
+
+    def test_past_event_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda: None)
+
+    def test_same_time_insertion_order(self, sim):
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_orders_simultaneous_events(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("arrival"), priority=Priority.ARRIVAL)
+        sim.schedule(
+            1.0, lambda: fired.append("completion"), priority=Priority.COMPLETION
+        )
+        sim.run()
+        assert fired == ["completion", "arrival"]
+
+    def test_schedule_in(self, sim):
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule_in(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_callback_can_schedule_at_current_instant(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(sim.now, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [1.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        handle.cancel()
+        assert sim.pending == 1
+
+
+class TestRunModes:
+    def test_run_until_stops_at_horizon(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run_until(5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_run_max_events(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.run(max_events=2) == 2
+        assert sim.pending == 1
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_fired_count(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.fired_count == 2
+
+    def test_reentrant_run_rejected(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_next_event_time(self, sim):
+        assert sim.next_event_time() is None
+        sim.schedule(4.0, lambda: None)
+        assert sim.next_event_time() == 4.0
+
+    def test_start_time(self):
+        eng = Engine(start_time=100.0)
+        assert eng.now == 100.0
+        with pytest.raises(SimulationError):
+            eng.schedule(99.0, lambda: None)

@@ -1,0 +1,28 @@
+"""Run the library's doctests — the examples in docstrings must stay true."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.pace.structural
+import repro.scheduling.coding
+import repro.sim.engine
+import repro.utils.rng
+import repro.utils.timefmt
+
+MODULES = [
+    repro.pace.structural,
+    repro.scheduling.coding,
+    repro.sim.engine,
+    repro.utils.rng,
+    repro.utils.timefmt,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; a refactor that silently
+breaks one should fail CI.  The full case study runs at a reduced request
+count to stay fast.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,args,expect",
+    [
+        ("quickstart.py", (), "Deadlines met"),
+        ("ga_gantt.py", (), "best schedule found"),
+        ("grid_discovery.py", (), "Deadlines met"),
+        ("custom_application.py", (), "Best parametric family"),
+        ("load_forecasting.py", (), "Forecast correction removes"),
+        ("full_casestudy.py", ("--requests", "24"), "Table 3"),
+    ],
+)
+def test_example_runs(script, args, expect):
+    result = run_example(script, *args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expect in result.stdout

@@ -1,0 +1,55 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none_is_empty(self):
+        assert format_cell(None) == ""
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("S1") == "S1"
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table 9")
+        assert out.splitlines()[0] == "Table 9"
+
+    def test_alignment(self):
+        out = render_table(["col"], [[1], [100]])
+        rows = out.splitlines()[-2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert len(out.splitlines()) == 2

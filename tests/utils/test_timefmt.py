@@ -1,0 +1,54 @@
+"""Tests for virtual-time <-> paper-style timestamp conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.timefmt import format_duration, format_timestamp, parse_timestamp
+
+
+class TestTimestampRoundTrip:
+    def test_epoch(self):
+        assert parse_timestamp(format_timestamp(0.0)) == 0.0
+
+    @pytest.mark.parametrize("t", [1.0, 60.0, 3600.0, 86400.0, 600.0, 12345.0])
+    def test_round_trip(self, t):
+        assert parse_timestamp(format_timestamp(t)) == t
+
+    def test_format_shape(self):
+        # ctime style, as in Figs. 5-6: "Sun Nov 15 04:43:10 2001"
+        text = format_timestamp(0.0)
+        parts = text.split()
+        assert len(parts) == 5
+        assert parts[4] == "2001"
+        assert ":" in parts[3]
+
+    def test_paper_template_value_parses(self):
+        # The verbatim freetime string from Fig. 5 (weekday field is not
+        # validated against the date, matching lenient strptime).
+        assert isinstance(parse_timestamp("Sun Nov 15 04:43:10 2001"), float)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_timestamp("not a timestamp")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            format_timestamp(float("nan"))
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0, "0s"),
+            (32, "32s"),
+            (-295, "-4m55s"),
+            (475, "7m55s"),
+            (3600, "1h0m0s"),
+            (3725, "1h2m5s"),
+        ],
+    )
+    def test_values(self, seconds, expected):
+        assert format_duration(seconds) == expected
