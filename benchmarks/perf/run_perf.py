@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Run the performance benchmark suite and write BENCH_PERF.json.
+
+Thin wrapper over :mod:`repro.perf` so the suite can be run from a checkout
+without installing the package::
+
+    python benchmarks/perf/run_perf.py [--output PATH] [--baseline PATH] [--jobs N]
+
+Scale with ``REPRO_BENCH_REQUESTS`` (default 120 requests).  Exits
+non-zero when any benchmark regressed by more than 25 % against the
+baseline (default: the committed BENCH_PERF.json it is about to replace).
+See docs/performance.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.perf import BENCH_REQUESTS, run_perf_cli  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_PERF.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to compare against "
+                        "(default: the pre-existing --output file)")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=BENCH_REQUESTS)
+    args = parser.parse_args()
+    return run_perf_cli(
+        args.output, baseline=args.baseline, jobs=args.jobs, requests=args.requests
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

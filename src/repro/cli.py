@@ -45,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="print Table 1 (application predictions)")
     sub.add_parser("table2", help="print Table 2 (experiment design)")
 
+    def add_jobs(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the experiment fabric "
+            "(1 = sequential; results are seed-identical either way)",
+        )
+
     table3 = sub.add_parser("table3", help="run experiments 1-3, print Table 3")
     table3.add_argument("--requests", type=int, default=600)
     table3.add_argument("--seed", type=int, default=2003)
@@ -52,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write full results as JSON")
     table3.add_argument("--csv", metavar="PATH",
                         help="also write Table 3 as CSV")
+    add_jobs(table3)
 
     sweep = sub.add_parser(
         "sweep", help="seed-robustness sweep of the paper's conclusions"
@@ -59,11 +67,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--requests", type=int, default=600)
     sweep.add_argument("--seeds", type=int, nargs="+",
                        default=[2003, 2004, 2005])
+    add_jobs(sweep)
 
     figures = sub.add_parser("figures", help="run experiments, print Figures 8-10")
     figures.add_argument("--requests", type=int, default=600)
     figures.add_argument("--seed", type=int, default=2003)
     figures.add_argument("--charts", action="store_true", help="draw ASCII curves")
+    add_jobs(figures)
+
+    perf = sub.add_parser(
+        "perf", help="run the performance benchmark suite, write BENCH_PERF.json"
+    )
+    perf.add_argument("--output", metavar="PATH", default="BENCH_PERF.json")
+    perf.add_argument("--baseline", metavar="PATH", default=None,
+                      help="compare against a committed BENCH_PERF.json "
+                      "and exit non-zero on >25%% regression")
+    perf.add_argument("--jobs", type=int, default=4, metavar="N",
+                      help="worker processes for the parallel-speedup benchmark")
 
     workload = sub.add_parser("workload", help="inspect the seeded workload")
     workload.add_argument("--requests", type=int, default=600)
@@ -99,10 +119,10 @@ def _cmd_table2() -> None:
         print(f"  {cfg.name}: policy={cfg.policy.value}, agents={cfg.agents_enabled}")
 
 
-def _run(requests: int, seed: int):
-    print(f"Running experiments 1-3 ({requests} requests, seed {seed})...",
-          file=sys.stderr)
-    return run_table3(master_seed=seed, request_count=requests)
+def _run(requests: int, seed: int, jobs: int = 1):
+    print(f"Running experiments 1-3 ({requests} requests, seed {seed}, "
+          f"jobs {jobs})...", file=sys.stderr)
+    return run_table3(master_seed=seed, request_count=requests, jobs=jobs)
 
 
 def _cmd_table3(
@@ -110,8 +130,9 @@ def _cmd_table3(
     seed: int,
     json_path: Optional[str] = None,
     csv_path: Optional[str] = None,
+    jobs: int = 1,
 ) -> int:
-    results = _run(requests, seed)
+    results = _run(requests, seed, jobs)
     print(render_table3([r.metrics for r in results], title="Table 3"))
     print()
     failures = 0
@@ -134,11 +155,12 @@ def _cmd_table3(
     return 1 if failures else 0
 
 
-def _cmd_sweep(requests: int, seeds: List[int]) -> int:
+def _cmd_sweep(requests: int, seeds: List[int], jobs: int = 1) -> int:
     from repro.experiments.sweep import run_seed_sweep
 
-    print(f"Sweeping seeds {seeds} ({requests} requests each)...", file=sys.stderr)
-    summary = run_seed_sweep(seeds, request_count=requests)
+    print(f"Sweeping seeds {seeds} ({requests} requests each, jobs {jobs})...",
+          file=sys.stderr)
+    summary = run_seed_sweep(seeds, request_count=requests, jobs=jobs)
     rows = [
         [name, f"{fraction:.0%}"]
         for name, fraction in sorted(summary.trend_support.items())
@@ -158,8 +180,8 @@ def _cmd_sweep(requests: int, seeds: List[int]) -> int:
     return 0 if all(f == 1.0 for f in summary.trend_support.values()) else 1
 
 
-def _cmd_figures(requests: int, seed: int, charts: bool) -> None:
-    results = _run(requests, seed)
+def _cmd_figures(requests: int, seed: int, charts: bool, jobs: int = 1) -> None:
+    results = _run(requests, seed, jobs)
     metrics = [r.metrics for r in results]
     for metric, title in (
         ("epsilon", "Figure 8: advance time ε (s)"),
@@ -226,13 +248,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "table2":
         _cmd_table2()
     elif args.command == "table3":
-        return _cmd_table3(args.requests, args.seed, args.json, args.csv)
+        return _cmd_table3(args.requests, args.seed, args.json, args.csv, args.jobs)
     elif args.command == "sweep":
-        return _cmd_sweep(args.requests, args.seeds)
+        return _cmd_sweep(args.requests, args.seeds, args.jobs)
     elif args.command == "figures":
-        _cmd_figures(args.requests, args.seed, args.charts)
+        _cmd_figures(args.requests, args.seed, args.charts, args.jobs)
+    elif args.command == "perf":
+        from repro.perf import run_perf_cli
+
+        return run_perf_cli(args.output, baseline=args.baseline, jobs=args.jobs)
     elif args.command == "workload":
         _cmd_workload(args.requests, args.seed, args.head)
     elif args.command == "predict":
         _cmd_predict(args.application, args.platform, args.max_nproc)
     return 0
+
+
+if __name__ == "__main__":  # ``python -m repro.cli`` (also: ``python -m repro``)
+    import sys as _sys
+
+    _sys.exit(main(_sys.argv[1:]))

@@ -5,17 +5,23 @@ the design-space explorations scriptable (notebooks, further studies)
 without going through pytest.  Each sweep varies exactly one knob against
 the paper's experiment-3 setting and returns one
 :class:`~repro.experiments.runner.ExperimentResult` per variant.
+
+Every sweep accepts ``jobs``: the variants are independent seeded runs, so
+``jobs > 1`` fans them out over the process-parallel fabric
+(:mod:`repro.experiments.parallel`) with results keyed exactly as the
+sequential loop would have produced them.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.casestudy import GridTopology, case_study_topology, scaled_topology
 from repro.experiments.config import ExperimentConfig, table2_experiments
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.parallel import ExperimentJob, run_many
+from repro.experiments.runner import ExperimentResult
 
 __all__ = [
     "base_config",
@@ -35,26 +41,35 @@ def base_config(request_count: int = 60, **overrides) -> ExperimentConfig:
     return cfg
 
 
+def _run_variants(
+    keys: Sequence, configs: Sequence[ExperimentConfig], topologies, jobs: int
+) -> Dict:
+    """Run one config per key (sequentially or on the fabric); keyed results."""
+    experiment_jobs = [
+        ExperimentJob(cfg, topo) for cfg, topo in zip(configs, topologies)
+    ]
+    results = run_many(experiment_jobs, jobs=jobs)
+    return dict(zip(keys, results))
+
+
 def sweep_prediction_noise(
     levels: Sequence[float] = (0.0, 0.1, 0.3, 0.6),
     *,
     request_count: int = 60,
     topology: Optional[GridTopology] = None,
+    jobs: int = 1,
 ) -> Dict[float, ExperimentResult]:
     """PACE accuracy ablation: log-normal σ applied to predictions."""
     if not levels:
         raise ExperimentError("levels must not be empty")
-    return {
-        float(noise): run_experiment(
-            base_config(
-                request_count,
-                name=f"accuracy-{noise}",
-                prediction_noise=float(noise),
-            ),
-            topology,
+    keys = [float(noise) for noise in levels]
+    configs = [
+        base_config(
+            request_count, name=f"accuracy-{noise}", prediction_noise=noise
         )
-        for noise in levels
-    }
+        for noise in keys
+    ]
+    return _run_variants(keys, configs, [topology] * len(keys), jobs)
 
 
 def sweep_advertisement(
@@ -62,21 +77,17 @@ def sweep_advertisement(
     *,
     request_count: int = 60,
     topology: Optional[GridTopology] = None,
+    jobs: int = 1,
 ) -> Dict[str, ExperimentResult]:
     """Advertisement-strategy ablation (§3.1)."""
     if not strategies:
         raise ExperimentError("strategies must not be empty")
-    return {
-        strategy: run_experiment(
-            base_config(
-                request_count,
-                name=f"advert-{strategy}",
-                advertisement=strategy,
-            ),
-            topology,
-        )
-        for strategy in strategies
-    }
+    keys = list(strategies)
+    configs = [
+        base_config(request_count, name=f"advert-{strategy}", advertisement=strategy)
+        for strategy in keys
+    ]
+    return _run_variants(keys, configs, [topology] * len(keys), jobs)
 
 
 def sweep_freetime_mode(
@@ -84,17 +95,17 @@ def sweep_freetime_mode(
     *,
     request_count: int = 60,
     topology: Optional[GridTopology] = None,
+    jobs: int = 1,
 ) -> Dict[str, ExperimentResult]:
     """Eq.-(10) freetime-estimator ablation."""
     if not modes:
         raise ExperimentError("modes must not be empty")
-    return {
-        mode: run_experiment(
-            base_config(request_count, name=f"freetime-{mode}", freetime_mode=mode),
-            topology,
-        )
-        for mode in modes
-    }
+    keys = list(modes)
+    configs = [
+        base_config(request_count, name=f"freetime-{mode}", freetime_mode=mode)
+        for mode in keys
+    ]
+    return _run_variants(keys, configs, [topology] * len(keys), jobs)
 
 
 def sweep_agent_count(
@@ -102,18 +113,18 @@ def sweep_agent_count(
     *,
     requests_per_agent: int = 5,
     nproc: int = 8,
+    jobs: int = 1,
 ) -> Dict[int, ExperimentResult]:
     """Scalability ablation over generated grids."""
     if not counts:
         raise ExperimentError("counts must not be empty")
-    results: Dict[int, ExperimentResult] = {}
-    for count in counts:
-        topo = scaled_topology(int(count), nproc=nproc)
-        cfg = base_config(
-            requests_per_agent * int(count), name=f"scale-{count}"
-        )
-        results[int(count)] = run_experiment(cfg, topo)
-    return results
+    keys = [int(count) for count in counts]
+    configs: List[ExperimentConfig] = []
+    topologies: List[GridTopology] = []
+    for count in keys:
+        topologies.append(scaled_topology(count, nproc=nproc))
+        configs.append(base_config(requests_per_agent * count, name=f"scale-{count}"))
+    return _run_variants(keys, configs, topologies, jobs)
 
 
 def sweep_pull_interval(
@@ -121,18 +132,14 @@ def sweep_pull_interval(
     *,
     request_count: int = 60,
     topology: Optional[GridTopology] = None,
+    jobs: int = 1,
 ) -> Dict[float, ExperimentResult]:
     """Advertisement staleness: the periodic-pull cadence (paper: 10 s)."""
     if not intervals:
         raise ExperimentError("intervals must not be empty")
-    return {
-        float(interval): run_experiment(
-            base_config(
-                request_count,
-                name=f"pull-{interval}",
-                pull_interval=float(interval),
-            ),
-            topology,
-        )
-        for interval in intervals
-    }
+    keys = [float(interval) for interval in intervals]
+    configs = [
+        base_config(request_count, name=f"pull-{interval}", pull_interval=interval)
+        for interval in keys
+    ]
+    return _run_variants(keys, configs, [topology] * len(keys), jobs)

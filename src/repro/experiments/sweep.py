@@ -52,18 +52,35 @@ class SeedSweepSummary:
                 f"no total for experiment {experiment_index}, metric {metric!r}"
             ) from None
 
+    def cache_stats(self):
+        """Evaluation-cache statistics merged across every run of the sweep.
+
+        Each experiment (one per worker in a parallel run) owns its own
+        cache; :class:`~repro.pace.cache.CacheStats` merges, so the §2.2
+        redundancy argument can be made sweep-wide.
+        """
+        from repro.experiments.parallel import merge_cache_stats
+
+        return merge_cache_stats(
+            [r for results in self.per_seed.values() for r in results]
+        )
+
 
 def run_seed_sweep(
     seeds: Sequence[int],
     *,
     request_count: int = 600,
     topology: GridTopology | None = None,
+    jobs: int = 1,
 ) -> SeedSweepSummary:
     """Run experiments 1–3 under each seed and aggregate.
 
     Each seed generates its own workload (agents, applications, deadlines
     all redrawn); within one seed the three experiments still share the
-    identical workload, as §4.1 requires.
+    identical workload, as §4.1 requires.  ``jobs > 1`` flattens the
+    ``len(seeds) × 3`` independent experiments onto the process-parallel
+    fabric; per-seed workloads are generated once in the parent and pinned
+    into every job, so the summary is identical to the sequential run.
     """
     if not seeds:
         raise ExperimentError("seeds must not be empty")
@@ -72,11 +89,17 @@ def run_seed_sweep(
     per_seed: Dict[int, List[ExperimentResult]] = {}
     support: Dict[str, List[bool]] = {}
     samples: Dict[Tuple[int, str], List[float]] = {}
-    for seed in seeds:
-        results = run_table3(
-            master_seed=int(seed), request_count=request_count, topology=topology
+    if jobs == 1:
+        for seed in seeds:
+            per_seed[int(seed)] = run_table3(
+                master_seed=int(seed), request_count=request_count, topology=topology
+            )
+    else:
+        per_seed = _sweep_parallel(
+            seeds, request_count=request_count, topology=topology, jobs=jobs
         )
-        per_seed[int(seed)] = results
+    for seed in seeds:
+        results = per_seed[int(seed)]
         for check in check_paper_trends(results):
             support.setdefault(check.name, []).append(check.holds)
         for i, result in enumerate(results):
@@ -98,3 +121,39 @@ def run_seed_sweep(
         totals=totals,
         per_seed=per_seed,
     )
+
+
+def _sweep_parallel(
+    seeds: Sequence[int],
+    *,
+    request_count: int,
+    topology: GridTopology | None,
+    jobs: int,
+) -> Dict[int, List[ExperimentResult]]:
+    """Fan the full (seed × experiment) grid out over the parallel fabric."""
+    from repro.experiments.casestudy import case_study_topology
+    from repro.experiments.config import table2_experiments
+    from repro.experiments.parallel import ExperimentJob, run_many
+    from repro.experiments.workload import generate_workload
+    from repro.pace.workloads import paper_application_specs
+
+    topo = topology if topology is not None else case_study_topology()
+    specs = paper_application_specs()
+    flat: List[ExperimentJob] = []
+    for seed in seeds:
+        cfgs = table2_experiments(master_seed=int(seed), request_count=request_count)
+        workload = tuple(
+            generate_workload(
+                topo.agent_names,
+                specs,
+                count=cfgs[0].request_count,
+                interval=cfgs[0].request_interval,
+                master_seed=cfgs[0].master_seed,
+            )
+        )
+        flat.extend(ExperimentJob(cfg, topo, workload) for cfg in cfgs)
+    results = run_many(flat, jobs=jobs)
+    per_seed: Dict[int, List[ExperimentResult]] = {}
+    for i, seed in enumerate(seeds):
+        per_seed[int(seed)] = results[3 * i : 3 * i + 3]
+    return per_seed

@@ -84,12 +84,15 @@ def run_table3(
     request_count: int = 600,
     topology: Optional[GridTopology] = None,
     configs: Optional[Sequence[ExperimentConfig]] = None,
+    jobs: int = 1,
 ) -> List[ExperimentResult]:
     """Run experiments 1–3 over one shared workload; returns their results.
 
     The workload is generated once and passed to every run, making the
     three experiments differ *only* in their load-balancing configuration,
-    exactly as §4.1 requires.
+    exactly as §4.1 requires.  ``jobs > 1`` fans the (independent)
+    experiments out over the process-parallel fabric; results are ordered
+    and seed-identical either way.
     """
     cfgs = (
         list(configs)
@@ -100,6 +103,7 @@ def run_table3(
         raise ExperimentError("no experiment configurations given")
     # One workload for all experiments (same agents, same seed).
     from repro.experiments.casestudy import case_study_topology
+    from repro.experiments.parallel import ExperimentJob, run_many
     from repro.pace.workloads import paper_application_specs
 
     topo = topology if topology is not None else case_study_topology()
@@ -110,7 +114,11 @@ def run_table3(
         interval=cfgs[0].request_interval,
         master_seed=cfgs[0].master_seed,
     )
-    return [run_experiment(cfg, topo, workload=workload) for cfg in cfgs]
+    if jobs == 1:
+        return [run_experiment(cfg, topo, workload=workload) for cfg in cfgs]
+    return run_many(
+        [ExperimentJob(cfg, topo, tuple(workload)) for cfg in cfgs], jobs=jobs
+    )
 
 
 def figure8_series(results: Sequence[ExperimentResult]) -> Dict[str, List[float]]:

@@ -108,6 +108,32 @@ class EvaluationEngine:
         )
         return self._perturb(base, key)
 
+    def evaluate_counts(
+        self,
+        application: ApplicationModel,
+        platform: PlatformSpec,
+        max_nproc: int,
+    ) -> np.ndarray:
+        """The whole ``[t(1) .. t(max_nproc)]`` duration row, in one call.
+
+        Fills every subset size through the cache in a single bulk
+        traversal (:meth:`EvaluationCache.get_many`) — the batched fast
+        path behind the GA's per-task duration rows and eq. (10)'s
+        :meth:`best_count` minimisation.  Statistics and cached values are
+        identical to ``max_nproc`` scalar :meth:`evaluate_count` calls.
+        """
+        if max_nproc < 1:
+            raise EvaluationError(f"max_nproc must be >= 1, got {max_nproc}")
+        app_name = application.name
+        platform_name = platform.name
+        keys = [(app_name, k, platform_name) for k in range(1, max_nproc + 1)]
+        values = self._cache.get_many(
+            keys, lambda key: self._raw(application, key[1], platform)
+        )
+        if self._noise_factor > 0.0:
+            values = [self._perturb(v, k) for v, k in zip(values, keys)]
+        return np.asarray(values, dtype=float)
+
     def evaluate_nodes(
         self, application: ApplicationModel, nodes: Sequence[Node]
     ) -> float:
@@ -157,14 +183,9 @@ class EvaluationEngine:
         local grid resource, the PACE evaluation function is called n
         times."  Ties resolve to the smaller count.
         """
-        if max_nproc < 1:
-            raise EvaluationError(f"max_nproc must be >= 1, got {max_nproc}")
-        best_k, best_t = 1, self.evaluate_count(application, 1, platform)
-        for k in range(2, max_nproc + 1):
-            t = self.evaluate_count(application, k, platform)
-            if t < best_t:
-                best_k, best_t = k, t
-        return best_k, best_t
+        row = self.evaluate_counts(application, platform, max_nproc)
+        best_k = int(np.argmin(row)) + 1  # argmin's first-min rule breaks ties down
+        return best_k, float(row[best_k - 1])
 
     # --------------------------------------------------------------- internals
 

@@ -1,0 +1,413 @@
+"""The performance-regression harness behind ``BENCH_PERF.json``.
+
+Four benchmarks time the hot kernels this codebase optimises:
+
+* ``ga_evolve_batched`` / ``ga_evolve_reference`` — generations/second of
+  :meth:`~repro.scheduling.ga.GAScheduler.evolve` under the batched
+  crossover kernel and the per-pair reference kernel
+  (``GAConfig(batched=False)``).  Both consume the identical RNG stream,
+  so the comparison times exactly the same evolutionary work.
+* ``evaluate_scalar`` / ``evaluate_counts`` — warm-cache evaluation
+  calls/second of the per-count scalar loop versus the bulk
+  :meth:`~repro.pace.evaluation.EvaluationEngine.evaluate_counts` path.
+* ``casestudy_wall`` — wall seconds for experiments 1–3 over the scaled
+  case-study workload (``REPRO_BENCH_REQUESTS``, default 120).
+* ``sweep_speedup`` — parallel-over-sequential speedup of a four-seed
+  :func:`~repro.experiments.sweep.run_seed_sweep` on the experiment
+  fabric.
+
+Results are written as JSON with machine info and the git SHA so numbers
+are attributable; :func:`check_regression` compares two such documents
+direction-aware (each benchmark declares whether higher is better) and
+reports every metric that got more than ``threshold`` worse.
+
+Entry points: ``python -m repro.cli perf`` or
+``python benchmarks/perf/run_perf.py``; see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as platform_module
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "BenchResult",
+    "Regression",
+    "run_suite",
+    "check_regression",
+    "render_report",
+    "run_perf_cli",
+]
+
+#: Workload scale for the case-study and sweep benchmarks.
+BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "120"))
+
+#: Regression threshold: a metric more than this fraction worse than the
+#: committed baseline fails the run.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's outcome."""
+
+    name: str
+    value: float
+    unit: str
+    higher_is_better: bool
+    detail: str = ""
+
+    def to_json(self) -> Dict:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that got worse than the threshold allows."""
+
+    name: str
+    baseline: float
+    current: float
+    change: float  # signed fraction; negative = worse
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.baseline:.4g} -> {self.current:.4g} "
+            f"({self.change:+.1%})"
+        )
+
+
+# ------------------------------------------------------------------ kernels
+
+
+def _make_ga(batched: bool, n_tasks: int = 12, n_nodes: int = 16):
+    """A GA over the paper's applications, mirroring the case-study setup."""
+    from repro.pace.evaluation import EvaluationEngine
+    from repro.pace.hardware import SGI_ORIGIN_2000
+    from repro.pace.workloads import paper_applications
+    from repro.scheduling.ga import GAConfig, GAScheduler
+
+    engine = EvaluationEngine()
+    models = list(paper_applications().values())
+    rows = [
+        engine.evaluate_counts(model, SGI_ORIGIN_2000, n_nodes) for model in models
+    ]
+    ga = GAScheduler(
+        n_nodes,
+        lambda tid, k: float(rows[tid % len(rows)][k - 1]),
+        np.random.default_rng(2003),
+        GAConfig(batched=batched),
+        duration_row=lambda tid: rows[tid % len(rows)],
+    )
+    for tid in range(n_tasks):
+        ga.add_task(tid, deadline=600.0 + 40.0 * tid)
+    return ga
+
+
+def bench_ga_evolve(batched: bool, generations: int = 25, repeats: int = 5) -> BenchResult:
+    """Generations/second of ``evolve`` under one crossover kernel.
+
+    Best-of-*repeats* chunks of *generations* each (generations are
+    homogeneous in cost, so the fastest chunk is the least-noisy sample).
+    Whole-``evolve`` throughput dilutes the crossover kernel behind the
+    cost evaluation — :func:`bench_ga_crossover` isolates the kernel.
+    """
+    free = [0.0] * 16
+    ga = _make_ga(batched)
+    ga.evolve(3, free, 0.0)  # warm-up: population allocation, caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ga.evolve(generations, free, 0.0)
+        best = min(best, time.perf_counter() - start)
+    kind = "batched" if batched else "reference"
+    return BenchResult(
+        name=f"ga_evolve_{kind}",
+        value=generations / best,
+        unit="generations/s",
+        higher_is_better=True,
+        detail=f"best of {repeats}x{generations} generations, "
+        "12 tasks, 16 nodes, pop 50",
+    )
+
+
+def bench_ga_crossover(batched: bool, n_tasks: int = 30, repeats: int = 7) -> BenchResult:
+    """Children/second of the crossover kernel alone (``_make_children``).
+
+    Times the per-generation child construction — pair decisions, order
+    splice, mask crossover — outside ``evolve``, so the batched-versus-
+    reference ratio is undiluted by the (shared) cost evaluation.
+    """
+    free = [0.0] * 16
+    ga = _make_ga(batched, n_tasks=n_tasks)
+    ga.evolve(2, free, 0.0)  # realistic evolved population
+    n_children = ga.config.population_size - ga.config.elite_count
+    parents = list(range(n_children))
+    calls = 30
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            ga._make_children(parents, n_children)
+        best = min(best, time.perf_counter() - start)
+    kind = "batched" if batched else "reference"
+    return BenchResult(
+        name=f"ga_crossover_{kind}",
+        value=calls * n_children / best,
+        unit="children/s",
+        higher_is_better=True,
+        detail=f"best of {repeats}x{calls} calls, {n_tasks} tasks, "
+        f"16 nodes, {n_children} children/call",
+    )
+
+
+def bench_evaluate(repeats: int = 200) -> List[BenchResult]:
+    """Warm-cache calls/second: scalar per-count loop vs ``evaluate_counts``."""
+    from repro.pace.evaluation import EvaluationEngine
+    from repro.pace.hardware import SGI_ORIGIN_2000
+    from repro.pace.workloads import paper_applications
+
+    engine = EvaluationEngine()
+    models = list(paper_applications().values())
+    max_nproc = 16
+    for model in models:  # warm the cache: realistic steady state
+        engine.evaluate_counts(model, SGI_ORIGIN_2000, max_nproc)
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for model in models:
+            for k in range(1, max_nproc + 1):
+                engine.evaluate_count(model, k, SGI_ORIGIN_2000)
+    scalar_elapsed = time.perf_counter() - start
+    n_calls = repeats * len(models) * max_nproc
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for model in models:
+            engine.evaluate_counts(model, SGI_ORIGIN_2000, max_nproc)
+    bulk_elapsed = time.perf_counter() - start
+
+    detail = f"{len(models)} applications x {max_nproc} counts, warm cache"
+    return [
+        BenchResult("evaluate_scalar", n_calls / scalar_elapsed,
+                    "evaluations/s", True, detail),
+        BenchResult("evaluate_counts", n_calls / bulk_elapsed,
+                    "evaluations/s", True, detail),
+    ]
+
+
+def bench_casestudy(requests: int) -> BenchResult:
+    """Wall seconds for experiments 1–3 over one scaled workload."""
+    from repro.experiments.tables import run_table3
+
+    start = time.perf_counter()
+    run_table3(request_count=requests)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        name="casestudy_wall",
+        value=elapsed,
+        unit="s",
+        higher_is_better=False,
+        detail=f"experiments 1-3, {requests} requests, seed 2003",
+    )
+
+
+def bench_sweep_speedup(requests: int, jobs: int = 4) -> List[BenchResult]:
+    """Sequential and parallel wall time of a four-seed sweep; speedup."""
+    from repro.experiments.sweep import run_seed_sweep
+
+    seeds = [2003, 2004, 2005, 2006]
+    start = time.perf_counter()
+    run_seed_sweep(seeds, request_count=requests, jobs=1)
+    sequential = time.perf_counter() - start
+    start = time.perf_counter()
+    run_seed_sweep(seeds, request_count=requests, jobs=jobs)
+    parallel = time.perf_counter() - start
+    detail = f"{len(seeds)} seeds x 3 experiments, {requests} requests, jobs={jobs}"
+    return [
+        BenchResult("sweep_sequential_wall", sequential, "s", False, detail),
+        BenchResult("sweep_parallel_wall", parallel, "s", False, detail),
+        BenchResult("sweep_speedup", sequential / parallel, "x", True, detail),
+    ]
+
+
+# -------------------------------------------------------------------- suite
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip()
+    except Exception:  # pragma: no cover - detached environments
+        return "unknown"
+
+
+def machine_info() -> Dict[str, object]:
+    """Attribution block: where these numbers were measured."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform_module.platform(),
+        "machine": platform_module.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
+
+
+def run_suite(
+    *,
+    requests: int = BENCH_REQUESTS,
+    jobs: int = 4,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run every benchmark; returns the BENCH_PERF.json document."""
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    results: List[BenchResult] = []
+    note("GA evolve (batched kernel)...")
+    results.append(bench_ga_evolve(batched=True))
+    note("GA evolve (per-pair reference kernel)...")
+    results.append(bench_ga_evolve(batched=False))
+    note("GA crossover kernel (batched vs reference)...")
+    results.append(bench_ga_crossover(batched=True))
+    results.append(bench_ga_crossover(batched=False))
+    note("evaluation engine (scalar vs bulk)...")
+    results.extend(bench_evaluate())
+    note(f"case study wall time ({requests} requests)...")
+    results.append(bench_casestudy(requests))
+    note(f"sweep speedup (4 seeds, jobs={jobs})...")
+    results.extend(bench_sweep_speedup(requests, jobs=jobs))
+
+    by_name = {r.name: r for r in results}
+    derived = {
+        "ga_evolve_speedup": (
+            by_name["ga_evolve_batched"].value
+            / by_name["ga_evolve_reference"].value
+        ),
+        "ga_crossover_speedup": (
+            by_name["ga_crossover_batched"].value
+            / by_name["ga_crossover_reference"].value
+        ),
+        "evaluate_bulk_speedup": (
+            by_name["evaluate_counts"].value / by_name["evaluate_scalar"].value
+        ),
+    }
+    return {
+        "meta": {
+            "git_sha": _git_sha(),
+            "requests": requests,
+            "jobs": jobs,
+            "machine": machine_info(),
+        },
+        "benchmarks": {r.name: r.to_json() for r in results},
+        "derived": {k: float(v) for k, v in derived.items()},
+    }
+
+
+# --------------------------------------------------------------- regression
+
+
+def check_regression(
+    current: Dict, baseline: Dict, threshold: float = DEFAULT_THRESHOLD
+) -> List[Regression]:
+    """Direction-aware comparison of two BENCH_PERF documents.
+
+    A benchmark regresses when it moves more than *threshold* in its bad
+    direction (lower for throughput/speedup metrics, higher for wall
+    times).  Benchmarks present in only one document are ignored, so the
+    suite can grow without invalidating committed baselines.
+    """
+    regressions: List[Regression] = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, entry in current.get("benchmarks", {}).items():
+        base = base_benchmarks.get(name)
+        if base is None:
+            continue
+        base_value = float(base["value"])
+        value = float(entry["value"])
+        if base_value == 0:
+            continue
+        if entry.get("higher_is_better", True):
+            change = (value - base_value) / base_value
+        else:
+            change = (base_value - value) / base_value
+        if change < -threshold:
+            regressions.append(Regression(name, base_value, value, change))
+    return regressions
+
+
+def render_report(doc: Dict) -> str:
+    """Human-readable table of one BENCH_PERF document."""
+    lines = [
+        f"git {doc['meta']['git_sha'][:12]}  "
+        f"requests={doc['meta']['requests']}  jobs={doc['meta']['jobs']}",
+        "",
+        f"{'benchmark':<24} {'value':>12} unit",
+    ]
+    for name, entry in doc["benchmarks"].items():
+        lines.append(f"{name:<24} {entry['value']:>12.2f} {entry['unit']}")
+    lines.append("")
+    for name, value in doc.get("derived", {}).items():
+        lines.append(f"{name:<24} {value:>12.2f} x")
+    return "\n".join(lines)
+
+
+def run_perf_cli(
+    output: str = "BENCH_PERF.json",
+    *,
+    baseline: Optional[str] = None,
+    jobs: int = 4,
+    requests: int = BENCH_REQUESTS,
+) -> int:
+    """Run the suite, write *output*, compare against *baseline* if present.
+
+    Returns a process exit code: 0 on success, 1 when any benchmark
+    regressed by more than 25 % against the baseline.  When *baseline* is
+    ``None`` the pre-existing *output* file (the committed baseline)
+    serves as the comparison point.
+    """
+    baseline_path = baseline if baseline is not None else output
+    baseline_doc = None
+    if baseline_path and os.path.exists(baseline_path):
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline_doc = json.load(handle)
+
+    doc = run_suite(
+        requests=requests, jobs=jobs,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render_report(doc))
+    print(f"\nwrote {output}", file=sys.stderr)
+
+    if baseline_doc is None:
+        print("no baseline to compare against", file=sys.stderr)
+        return 0
+    regressions = check_regression(doc, baseline_doc)
+    if regressions:
+        print("\nPERFORMANCE REGRESSIONS (>25% worse than baseline):")
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 1
+    print(f"no regressions vs {baseline_path}", file=sys.stderr)
+    return 0

@@ -1,0 +1,173 @@
+"""Whole-population batched forms of the two-part genetic operators.
+
+The object-level operators in :mod:`repro.scheduling.operators` and the
+per-pair packed operators in :class:`~repro.scheduling.ga.GAScheduler` are
+the *reference* implementations — clear, validated, and kept for the
+property tests and the perf-regression baseline.  Profiling the case study
+showed the per-pair crossover loop dominated ``evolve`` (≈60 % of an
+experiment-2 run), so these functions re-express the same operators as
+single array programs over a whole batch of parent pairs.
+
+All functions are pure: the random choices (cut locations, crossover
+points, insert positions) are *arguments*, drawn by the caller, which is
+what lets the property tests assert exact agreement with the reference
+operators and lets :meth:`GAScheduler.evolve` keep a byte-identical RNG
+stream whichever kernel is active.
+
+Shape conventions (B = batch, m = tasks, n = nodes):
+
+* orderings are ``(B, m)`` int arrays of task *rows* — each row of the
+  batch is a permutation of ``0..m-1``;
+* masks are ``(B, m, n)`` bool arrays keyed by task row (not by position),
+  preserving "the node mapping associated with a particular task from one
+  generation to the next".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "batched_order_splice",
+    "batched_mask_crossover",
+    "batched_insert",
+]
+
+
+def batched_order_splice(
+    orders_a: np.ndarray, orders_b: np.ndarray, cuts: np.ndarray
+) -> np.ndarray:
+    """Splice each pair of orderings at its cut — the batched order splice.
+
+    For every batch row ``b`` the child is ``orders_a[b, :cuts[b]]``
+    followed by the remaining rows in ``orders_b[b]``'s order, exactly as
+    :func:`repro.scheduling.operators.order_splice` builds it.  Membership
+    of the head is resolved through a scattered lookup table rather than a
+    per-pair ``np.isin``, so the whole batch is O(B·m).
+
+    Parameters
+    ----------
+    orders_a, orders_b:
+        ``(B, m)`` row permutations (head source / tail source).
+    cuts:
+        ``(B,)`` splice locations in ``0..m``.
+    """
+    orders_a = np.asarray(orders_a)
+    orders_b = np.asarray(orders_b)
+    cuts = np.asarray(cuts)
+    if orders_a.shape != orders_b.shape:
+        raise ValidationError(
+            f"order batches disagree: {orders_a.shape} vs {orders_b.shape}"
+        )
+    batch, m = orders_a.shape
+    if cuts.shape != (batch,):
+        raise ValidationError(f"cuts must have shape ({batch},), got {cuts.shape}")
+    positions = np.arange(m)
+    rows = np.arange(batch)[:, None]
+    head_mask = positions[None, :] < cuts[:, None]  # (B, m)
+    # Row-indexed lookup table: in_head[b, r] == r appears in a's head.
+    in_head = np.zeros((batch, m), dtype=bool)
+    in_head[rows, orders_a] = head_mask
+    keep = ~in_head[rows, orders_b]  # b's rows to keep
+    # Kept elements of b land after the head, preserving b's order.
+    dest = cuts[:, None] + np.cumsum(keep, axis=1) - 1
+    children = np.where(head_mask, orders_a, 0)
+    b_idx, j_idx = np.nonzero(keep)
+    children[b_idx, dest[b_idx, j_idx]] = orders_b[b_idx, j_idx]
+    return children
+
+
+def batched_mask_crossover(
+    child_orders: np.ndarray,
+    masks_first: np.ndarray,
+    masks_second: np.ndarray,
+    points: np.ndarray,
+) -> np.ndarray:
+    """Single-point mask crossover for a batch of children, keyed by row.
+
+    The reference ``cross_maps`` gathers each parent's row-keyed masks *in
+    the child's task order* (the paper's "reordering ... necessary to
+    preserve the node mapping associated with a particular task"), crosses
+    the flattened strings at the shared point, and scatters back under row
+    keys.  Row ``r``'s bit for node ``j`` therefore comes from the first
+    parent exactly when ``pos(r) * n + j < point``, where ``pos(r)`` is
+    ``r``'s position in the child ordering — so the whole gather/cross/
+    scatter collapses to one inverse permutation and an ``np.where`` over
+    the row-keyed masks, never materialising the position-ordered view.
+
+    Parameters
+    ----------
+    child_orders:
+        ``(B, m)`` child orderings (from :func:`batched_order_splice`).
+    masks_first, masks_second:
+        ``(B, m, n)`` row-keyed parent masks; ``masks_first`` supplies the
+        flat prefix up to each point, ``masks_second`` the suffix.
+    points:
+        ``(B,)`` crossover points in ``0..m*n``.
+
+    Note: empty-mask repair is *not* applied here; the mutation step owns
+    the legitimacy repair (exactly as the packed reference kernel does).
+    """
+    masks_first = np.asarray(masks_first)
+    masks_second = np.asarray(masks_second)
+    child_orders = np.asarray(child_orders)
+    points = np.asarray(points)
+    if masks_first.shape != masks_second.shape:
+        raise ValidationError(
+            f"mask batches disagree: {masks_first.shape} vs {masks_second.shape}"
+        )
+    batch, m, n = masks_first.shape
+    if child_orders.shape != (batch, m):
+        raise ValidationError(
+            f"child_orders must have shape ({batch}, {m}), got {child_orders.shape}"
+        )
+    if points.shape != (batch,):
+        raise ValidationError(f"points must have shape ({batch},), got {points.shape}")
+    rows = np.arange(batch)[:, None]
+    inverse = np.empty((batch, m), dtype=np.int64)
+    inverse[rows, child_orders] = np.arange(m)[None, :]
+    # Flat crossover-string index of (task row r, node j): pos(r)*n + j.
+    flat_index = inverse[:, :, None] * n + np.arange(n)[None, None, :]
+    return np.where(
+        flat_index < points[:, None, None], masks_first, masks_second
+    )
+
+
+def batched_insert(
+    orders: np.ndarray, positions: np.ndarray, value: int
+) -> np.ndarray:
+    """Insert *value* into every ordering at its per-row position.
+
+    The batched form of the per-individual ``np.insert`` loop in
+    :meth:`GAScheduler.add_task`: row ``i`` of the result equals
+    ``np.insert(orders[i], positions[i], value)``.
+
+    Parameters
+    ----------
+    orders:
+        ``(B, m)`` orderings.
+    positions:
+        ``(B,)`` insert positions in ``0..m``.
+    value:
+        The row index to splice in (the new task's row).
+    """
+    orders = np.asarray(orders)
+    positions = np.asarray(positions)
+    batch, m = orders.shape
+    if positions.shape != (batch,):
+        raise ValidationError(
+            f"positions must have shape ({batch},), got {positions.shape}"
+        )
+    if m == 0:
+        return np.full((batch, 1), value, dtype=orders.dtype)
+    out_pos = np.arange(m + 1)
+    before = out_pos[None, :] < positions[:, None]
+    # Source column: k for the prefix, k-1 for the suffix; the insert slot
+    # itself is overwritten below, so its clipped gather value is irrelevant.
+    src = np.where(before, out_pos[None, :], out_pos[None, :] - 1)
+    src = np.clip(src, 0, m - 1)
+    children = orders[np.arange(batch)[:, None], src]
+    children[out_pos[None, :] == positions[:, None]] = value
+    return children

@@ -33,6 +33,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ScheduleError, ValidationError
+from repro.scheduling.batched import (
+    batched_insert,
+    batched_mask_crossover,
+    batched_order_splice,
+)
 from repro.scheduling.coding import SolutionString
 from repro.scheduling.cost import CostWeights
 from repro.scheduling.fitness import scale_fitness
@@ -65,6 +70,13 @@ class GAConfig:
     #: Compensates for the generation budget an event-driven run has
     #: compared to the paper's continuously evolving GA; ablatable.
     memetic: bool = True
+    #: Use the whole-population batched crossover kernel
+    #: (:mod:`repro.scheduling.batched`).  ``False`` selects the per-pair
+    #: reference kernel.  Both consume the identical RNG stream (all random
+    #: choices are drawn up front, in the reference order), so the two
+    #: settings produce byte-identical populations — the flag exists for
+    #: the property tests and the perf-regression baseline.
+    batched: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -94,6 +106,11 @@ class GAScheduler:
         Random generator driving all stochastic choices.
     config:
         Kernel tunables.
+    duration_row:
+        Optional batched prediction callback ``duration_row(task_id)``
+        returning the whole ``[t(1) .. t(n)]`` row at once (e.g. through
+        :meth:`repro.pace.evaluation.EvaluationEngine.evaluate_counts`).
+        Falls back to *n* scalar ``duration`` calls when omitted.
 
     Usage
     -----
@@ -108,11 +125,14 @@ class GAScheduler:
         duration: DurationFn,
         rng: np.random.Generator,
         config: GAConfig = GAConfig(),
+        *,
+        duration_row: Optional[Callable[[int], np.ndarray]] = None,
     ) -> None:
         if n_nodes < 1:
             raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
         self._n = int(n_nodes)
         self._duration = duration
+        self._duration_row_fn = duration_row
         self._rng = rng
         self._config = config
         self._id_order: List[int] = []  # task row -> task id
@@ -140,7 +160,13 @@ class GAScheduler:
 
     @property
     def task_ids(self) -> Tuple[int, ...]:
-        """The optimisation set T, in insertion order."""
+        """The optimisation set T, in row order.
+
+        Row order is insertion order until the first removal; swap-remove
+        then moves the last row into the vacated slot, so treat this as an
+        unordered set (each individual's *ordering string* — not the row
+        numbering — carries execution order).
+        """
         return tuple(self._id_order)
 
     @property
@@ -193,9 +219,18 @@ class GAScheduler:
     # ----------------------------------------------------------- task churn
 
     def _duration_row(self, task_id: int) -> np.ndarray:
-        row = np.array(
-            [self._duration(task_id, k) for k in range(1, self._n + 1)], dtype=float
-        )
+        if self._duration_row_fn is not None:
+            row = np.asarray(self._duration_row_fn(task_id), dtype=float)
+            if row.shape != (self._n,):
+                raise ScheduleError(
+                    f"duration_row for task {task_id} has shape {row.shape}, "
+                    f"expected ({self._n},)"
+                )
+        else:
+            row = np.array(
+                [self._duration(task_id, k) for k in range(1, self._n + 1)],
+                dtype=float,
+            )
         if np.any(row <= 0) or not np.all(np.isfinite(row)):
             raise ScheduleError(f"durations for task {task_id} must be finite and > 0")
         return row
@@ -259,35 +294,48 @@ class GAScheduler:
         p, m = self._order.shape
         positions = self._rng.integers(0, m + 1, size=p)
         positions[0] = m  # individual 0 keeps arrival order
-        new_order = np.empty((p, m + 1), dtype=np.int64)
-        for i in range(p):
-            new_order[i] = np.insert(self._order[i], positions[i], new_row)
-        self._order = new_order
+        self._order = batched_insert(self._order, positions, new_row)
         self._masks = np.concatenate(
             [self._masks, self._seed_masks(durations, p)[:, None, :]], axis=1
         )
 
     def remove_task(self, task_id: int) -> None:
-        """Remove a task (it started executing, finished, or was cancelled)."""
+        """Remove a task (it started executing, finished, or was cancelled).
+
+        Swap-remove: the *last* task row moves into the vacated slot, so
+        the row-key bookkeeping is O(1) instead of renumbering every task
+        above the removed row.  Row keys are arbitrary labels — every
+        per-row structure (``_dtable``, ``_deadline_arr``, the mask axis)
+        is re-keyed consistently and each individual's explicit ordering
+        string is renamed, so the population is unchanged as a set of
+        solutions (see DESIGN.md on the packed-array invariants).
+        """
         row = self._require_row(task_id)
-        self._id_order.pop(row)
         del self._row_of[task_id]
-        for tid, r in self._row_of.items():
-            if r > row:
-                self._row_of[tid] = r - 1
-        self._dtable = np.delete(self._dtable, row, axis=0)
-        self._deadline_arr = np.delete(self._deadline_arr, row)
+        last = len(self._id_order) - 1
+        moved_id = self._id_order[last]
+        self._id_order[row] = moved_id
+        self._id_order.pop()
         assert self._order is not None and self._masks is not None
         if not self._id_order:
             self._order = None
             self._masks = None
+            self._dtable = np.empty((0, self._n), dtype=float)
+            self._deadline_arr = np.empty(0, dtype=float)
             return
-        keep = self._order != row
+        if row != last:
+            self._row_of[moved_id] = row
+            self._dtable[row] = self._dtable[last]
+            self._deadline_arr[row] = self._deadline_arr[last]
+            self._masks[:, row] = self._masks[:, last]
+        self._dtable = self._dtable[:last]
+        self._deadline_arr = self._deadline_arr[:last]
         p, m = self._order.shape
-        new_order = self._order[keep].reshape(p, m - 1)
-        new_order[new_order > row] -= 1
+        new_order = self._order[self._order != row].reshape(p, m - 1)
+        if row != last:
+            new_order[new_order == last] = row
         self._order = new_order
-        self._masks = np.delete(self._masks, row, axis=1)
+        self._masks = self._masks[:, :last]
 
     # ------------------------------------------------------------- evaluation
 
@@ -361,16 +409,23 @@ class GAScheduler:
     # --------------------------------------------------------------- operators
 
     def _crossover_pair(
-        self, pa: int, pb: int, order: np.ndarray, masks: np.ndarray
+        self,
+        pa: int,
+        pb: int,
+        order: np.ndarray,
+        masks: np.ndarray,
+        cut: int,
+        point: int,
     ) -> Tuple[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]:
-        """Two-part crossover of individuals *pa*, *pb* (packed form).
+        """Two-part crossover of individuals *pa*, *pb* (per-pair reference).
 
-        Ordering: splice at one random cut (both directions).  Mapping:
-        flatten each parent's masks *in the child's task order*, single-
-        point binary crossover at a shared point, un-flatten keyed by row.
+        Ordering: splice at *cut* (both directions).  Mapping: flatten each
+        parent's masks *in the child's task order*, single-point binary
+        crossover at the shared *point*, un-flatten keyed by row.  This is
+        the reference kernel the batched operators are validated against
+        (``GAConfig(batched=False)`` routes ``evolve`` through it).
         """
         m, n = masks.shape[1], masks.shape[2]
-        cut = int(self._rng.integers(0, m + 1))
         oa, ob = order[pa], order[pb]
 
         def splice(head_src: np.ndarray, tail_src: np.ndarray) -> np.ndarray:
@@ -384,7 +439,6 @@ class GAScheduler:
 
         c1_order = splice(oa, ob)
         c2_order = splice(ob, oa)
-        point = int(self._rng.integers(0, m * n + 1))
 
         def cross_maps(
             child_order: np.ndarray, first: np.ndarray, second: np.ndarray
@@ -400,6 +454,108 @@ class GAScheduler:
         c1_masks = cross_maps(c1_order, masks[pa], masks[pb])
         c2_masks = cross_maps(c2_order, masks[pb], masks[pa])
         return (c1_order, c1_masks), (c2_order, c2_masks)
+
+    def _make_children(
+        self, parents: Sequence[int], n_children: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The next generation's non-elite individuals — ``(order, masks)``.
+
+        Consecutive selected parents are paired; each pair crosses over
+        with ``crossover_probability`` or is copied through.  All random
+        choices are drawn *up front*, scalar, in the reference order (pair
+        decision, then cut, then point, per pair) so the batched and
+        per-pair kernels consume one identical RNG stream and produce
+        byte-identical children.
+        """
+        assert self._order is not None and self._masks is not None
+        cfg = self._config
+        m = len(self._id_order)
+        n = self._n
+        pair_count = len(parents) // 2
+        do_cross = np.zeros(pair_count, dtype=bool)
+        cuts = np.zeros(pair_count, dtype=np.int64)
+        points = np.zeros(pair_count, dtype=np.int64)
+        for i in range(pair_count):
+            if self._rng.random() < cfg.crossover_probability:
+                do_cross[i] = True
+                cuts[i] = self._rng.integers(0, m + 1)
+                points[i] = self._rng.integers(0, m * n + 1)
+        pa = np.asarray(parents[: 2 * pair_count : 2], dtype=np.int64)
+        pb = np.asarray(parents[1 : 2 * pair_count : 2], dtype=np.int64)
+        total = 2 * pair_count + (len(parents) % 2)
+        child_order = np.empty((total, m), dtype=self._order.dtype)
+        child_masks = np.empty((total, m, n), dtype=bool)
+        if cfg.batched:
+            self._children_batched(
+                child_order, child_masks, pa, pb, do_cross, cuts, points
+            )
+        else:
+            self._children_reference(
+                child_order, child_masks, pa, pb, do_cross, cuts, points
+            )
+        if len(parents) % 2 == 1:
+            leftover = parents[-1]
+            child_order[-1] = self._order[leftover]
+            child_masks[-1] = self._masks[leftover]
+        return child_order[:n_children], child_masks[:n_children]
+
+    def _children_batched(
+        self,
+        child_order: np.ndarray,
+        child_masks: np.ndarray,
+        pa: np.ndarray,
+        pb: np.ndarray,
+        do_cross: np.ndarray,
+        cuts: np.ndarray,
+        points: np.ndarray,
+    ) -> None:
+        """Fill children slots ``2i``/``2i+1`` with whole-batch array ops."""
+        assert self._order is not None and self._masks is not None
+        order, masks = self._order, self._masks
+        plain = np.flatnonzero(~do_cross)
+        if plain.size:
+            child_order[2 * plain] = order[pa[plain]]
+            child_order[2 * plain + 1] = order[pb[plain]]
+            child_masks[2 * plain] = masks[pa[plain]]
+            child_masks[2 * plain + 1] = masks[pb[plain]]
+        crossed = np.flatnonzero(do_cross)
+        if crossed.size:
+            oa, ob = order[pa[crossed]], order[pb[crossed]]
+            ma, mb = masks[pa[crossed]], masks[pb[crossed]]
+            c1 = batched_order_splice(oa, ob, cuts[crossed])
+            c2 = batched_order_splice(ob, oa, cuts[crossed])
+            child_order[2 * crossed] = c1
+            child_order[2 * crossed + 1] = c2
+            child_masks[2 * crossed] = batched_mask_crossover(
+                c1, ma, mb, points[crossed]
+            )
+            child_masks[2 * crossed + 1] = batched_mask_crossover(
+                c2, mb, ma, points[crossed]
+            )
+
+    def _children_reference(
+        self,
+        child_order: np.ndarray,
+        child_masks: np.ndarray,
+        pa: np.ndarray,
+        pb: np.ndarray,
+        do_cross: np.ndarray,
+        cuts: np.ndarray,
+        points: np.ndarray,
+    ) -> None:
+        """Per-pair reference kernel (the seed implementation's loop)."""
+        assert self._order is not None and self._masks is not None
+        for i in range(pa.size):
+            a, b = int(pa[i]), int(pb[i])
+            if do_cross[i]:
+                (o1, m1), (o2, m2) = self._crossover_pair(
+                    a, b, self._order, self._masks, int(cuts[i]), int(points[i])
+                )
+            else:
+                o1, m1 = self._order[a], self._masks[a]
+                o2, m2 = self._order[b], self._masks[b]
+            child_order[2 * i], child_masks[2 * i] = o1, m1
+            child_order[2 * i + 1], child_masks[2 * i + 1] = o2, m2
 
     def _mutate_population(self, order: np.ndarray, masks: np.ndarray) -> None:
         """In-place two-part mutation: order swaps + mapping bit flips."""
@@ -500,25 +656,7 @@ class GAScheduler:
             elite_idx = np.argsort(costs, kind="stable")[: cfg.elite_count]
             n_children = cfg.population_size - elite_idx.size
             parents = stochastic_remainder_selection(fitness, n_children, self._rng)
-            child_orders: List[np.ndarray] = []
-            child_masks: List[np.ndarray] = []
-            for i in range(0, len(parents) - 1, 2):
-                pa, pb = parents[i], parents[i + 1]
-                if self._rng.random() < cfg.crossover_probability:
-                    (o1, m1), (o2, m2) = self._crossover_pair(
-                        pa, pb, self._order, self._masks
-                    )
-                else:
-                    o1, m1 = self._order[pa].copy(), self._masks[pa].copy()
-                    o2, m2 = self._order[pb].copy(), self._masks[pb].copy()
-                child_orders.extend((o1, o2))
-                child_masks.extend((m1, m2))
-            if len(parents) % 2 == 1:
-                p = parents[-1]
-                child_orders.append(self._order[p].copy())
-                child_masks.append(self._masks[p].copy())
-            new_order = np.stack(child_orders[:n_children])
-            new_masks = np.stack(child_masks[:n_children])
+            new_order, new_masks = self._make_children(parents, n_children)
             self._mutate_population(new_order, new_masks)
             self._order = np.concatenate([self._order[elite_idx], new_order])
             self._masks = np.concatenate([self._masks[elite_idx], new_masks])

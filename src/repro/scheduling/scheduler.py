@@ -166,7 +166,11 @@ class LocalScheduler:
         if policy is SchedulingPolicy.GA:
             assert rng is not None
             self._ga = GAScheduler(
-                resource.size, self._task_duration, rng, ga_config
+                resource.size,
+                self._task_duration,
+                rng,
+                ga_config,
+                duration_row=self._task_duration_row,
             )
         elif policy is SchedulingPolicy.FIFO:
             self._static = FIFOScheduler(resource.size)
@@ -246,6 +250,14 @@ class LocalScheduler:
         task = self._task_by_id[task_id]
         base = self._evaluator.evaluate_count(task.application, count, self._platform)
         return base * self._correction_factor()
+
+    def _task_duration_row(self, task_id: int) -> np.ndarray:
+        """The whole ``t(1..n)`` estimate row — one bulk cache traversal."""
+        task = self._task_by_id[task_id]
+        row = self._evaluator.evaluate_counts(
+            task.application, self._platform, self._resource.size
+        )
+        return row * self._correction_factor()
 
     def effective_free_times(self) -> np.ndarray:
         """Per-node availability: executor bookings, down nodes pushed out."""

@@ -50,6 +50,11 @@ class Engine:
         self._sequence = 0
         self._running = False
         self._fired = 0
+        # Live count of non-cancelled queued events.  Maintained on
+        # schedule/fire/cancel (the Event.on_cancel hook) so ``pending`` —
+        # called inside hot run loops via ``__len__`` — is O(1) instead of
+        # an O(n) heap scan.
+        self._pending = 0
 
     # ------------------------------------------------------------------ state
 
@@ -60,8 +65,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled-but-unpopped)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of events still queued, excluding cancelled ones — O(1)."""
+        return self._pending
 
     @property
     def fired_count(self) -> int:
@@ -92,9 +97,17 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        event = Event(float(time), priority, self._sequence, callback, label)
+        event = Event(
+            float(time),
+            priority,
+            self._sequence,
+            callback,
+            label,
+            on_cancel=self._on_event_cancelled,
+        )
         self._sequence += 1
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return EventHandle(event)
 
     def schedule_in(
@@ -120,7 +133,9 @@ class Engine:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                continue
+                continue  # already uncounted by the cancellation hook
+            event.fired = True
+            self._pending -= 1
             self._now = event.time
             self._fired += 1
             event.callback()
@@ -167,6 +182,10 @@ class Engine:
         return fired
 
     # --------------------------------------------------------------- helpers
+
+    def _on_event_cancelled(self) -> None:
+        """Event.cancel hook: keep the live pending count exact."""
+        self._pending -= 1
 
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without popping it."""

@@ -41,10 +41,28 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Set by the engine the moment the event is popped to fire, so a
+    #: cancel() from inside its own callback (e.g. a periodic process
+    #: stopping itself) no longer counts as a pending-event cancellation.
+    fired: bool = field(compare=False, default=False)
+    #: Engine hook invoked on the first effective cancellation only —
+    #: keeps the engine's live pending counter exact without re-scanning
+    #: the heap.
+    on_cancel: Callable[[], None] | None = field(
+        compare=False, default=None, repr=False
+    )
 
     def cancel(self) -> None:
-        """Mark the event cancelled; the engine will skip it when popped."""
+        """Mark the event cancelled; the engine will skip it when popped.
+
+        Idempotent, and a no-op once the event has fired; the engine's
+        cancellation hook runs at most once.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
 
 class EventHandle:

@@ -88,3 +88,74 @@ class TestManagement:
         cache.get_or_compute("k", lambda: 1.0)
         cache.stats.reset()
         assert cache.stats.requests == 0
+
+
+class TestGetMany:
+    def test_mixed_hits_and_misses(self):
+        cache = EvaluationCache()
+        cache.get_or_compute("a", lambda: 1.0)
+        computed = []
+
+        def compute(key):
+            computed.append(key)
+            return float(len(key))
+
+        values = cache.get_many(["a", "bb", "ccc"], compute)
+        assert values == [1.0, 2.0, 3.0]
+        assert computed == ["bb", "ccc"]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 3  # one scalar miss + two bulk misses
+
+    def test_stats_identical_to_scalar_lookups(self):
+        keys = ["a", "b", "a", "c", "b", "a"]
+        bulk = EvaluationCache()
+        bulk.get_many(keys, lambda key: 1.0)
+        scalar = EvaluationCache()
+        for key in keys:
+            scalar.get_or_compute(key, lambda: 1.0)
+        assert bulk.stats == scalar.stats
+        assert bulk.size == scalar.size
+
+    def test_repeated_key_hits_within_one_call(self):
+        cache = EvaluationCache()
+        values = cache.get_many(["k", "k", "k"], lambda key: 9.0)
+        assert values == [9.0] * 3
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+
+    def test_bounded_eviction_preserved(self):
+        cache = EvaluationCache(max_size=2)
+        cache.get_many(["a", "b", "c"], lambda key: 0.0)
+        assert cache.size == 2
+        assert "a" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_empty_keys(self):
+        cache = EvaluationCache()
+        assert cache.get_many([], lambda key: 0.0) == []
+        assert cache.stats.requests == 0
+
+
+class TestCacheStatsMerge:
+    def test_add_returns_new(self):
+        from repro.pace.cache import CacheStats
+
+        a = CacheStats(hits=1, misses=2, evictions=3)
+        b = CacheStats(hits=10, misses=20, evictions=30)
+        merged = a + b
+        assert merged == CacheStats(hits=11, misses=22, evictions=33)
+        assert a == CacheStats(hits=1, misses=2, evictions=3)  # unchanged
+
+    def test_iadd_accumulates(self):
+        from repro.pace.cache import CacheStats
+
+        total = CacheStats()
+        total += CacheStats(hits=2, misses=1, evictions=0)
+        total += CacheStats(hits=3, misses=0, evictions=1)
+        assert total == CacheStats(hits=5, misses=1, evictions=1)
+
+    def test_merge_rejects_other_types(self):
+        from repro.pace.cache import CacheStats
+
+        with pytest.raises(TypeError):
+            CacheStats() + 1

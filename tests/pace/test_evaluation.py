@@ -107,3 +107,45 @@ class TestInvalidModel:
         broken = Broken("b", [1.0])
         with pytest.raises(EvaluationError):
             evaluator.evaluate_count(broken, 1, SGI_ORIGIN_2000)
+
+
+class TestEvaluateCounts:
+    def test_matches_scalar_row(self, evaluator, model):
+        row = evaluator.evaluate_counts(model, SGI_ORIGIN_2000, 4)
+        expected = [
+            evaluator.evaluate_count(model, k, SGI_ORIGIN_2000) for k in range(1, 5)
+        ]
+        assert row.tolist() == expected
+
+    def test_stats_identical_to_scalar_calls(self, model):
+        bulk = EvaluationEngine()
+        bulk.evaluate_counts(model, SGI_ORIGIN_2000, 4)
+        scalar = EvaluationEngine()
+        for k in range(1, 5):
+            scalar.evaluate_count(model, k, SGI_ORIGIN_2000)
+        assert bulk.cache.stats == scalar.cache.stats
+        assert bulk.evaluations == scalar.evaluations
+
+    def test_second_call_is_all_hits(self, evaluator, model):
+        evaluator.evaluate_counts(model, SGI_ORIGIN_2000, 4)
+        before = evaluator.evaluations
+        row = evaluator.evaluate_counts(model, SGI_ORIGIN_2000, 4)
+        assert evaluator.evaluations == before
+        assert row.shape == (4,)
+
+    def test_bad_max_nproc_rejected(self, evaluator, model):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate_counts(model, SGI_ORIGIN_2000, 0)
+
+    def test_noisy_row_matches_scalar(self, model):
+        rng = np.random.default_rng(7)
+        engine = EvaluationEngine(noise_factor=0.3, rng=rng)
+        row = engine.evaluate_counts(model, SGI_ORIGIN_2000, 4)
+        expected = [
+            engine.evaluate_count(model, k, SGI_ORIGIN_2000) for k in range(1, 5)
+        ]
+        assert row.tolist() == expected  # per-key noise is deterministic
+
+    def test_best_count_uses_bulk_row(self, evaluator, model):
+        best_k, best_t = evaluator.best_count(model, SGI_ORIGIN_2000, 4)
+        assert (best_k, best_t) == (4, 4.0)

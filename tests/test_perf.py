@@ -1,0 +1,85 @@
+"""Tests for the perf-regression harness (comparison logic, not timings)."""
+
+from __future__ import annotations
+
+from repro.perf import BenchResult, Regression, check_regression, render_report
+
+
+def doc(**values):
+    """A minimal BENCH_PERF document; values are (value, higher_is_better)."""
+    return {
+        "meta": {"git_sha": "0" * 40, "requests": 120, "jobs": 4,
+                 "machine": {"cpu_count": 1}},
+        "benchmarks": {
+            name: {"value": value, "unit": "u", "higher_is_better": hib,
+                   "detail": ""}
+            for name, (value, hib) in values.items()
+        },
+        "derived": {},
+    }
+
+
+class TestCheckRegression:
+    def test_no_change_passes(self):
+        d = doc(throughput=(100.0, True), wall=(2.0, False))
+        assert check_regression(d, d) == []
+
+    def test_throughput_drop_flagged(self):
+        base = doc(throughput=(100.0, True))
+        current = doc(throughput=(70.0, True))  # 30% slower
+        [regression] = check_regression(current, base)
+        assert regression.name == "throughput"
+        assert regression.change < -0.25
+        assert "throughput" in regression.describe()
+
+    def test_throughput_drop_within_threshold_passes(self):
+        base = doc(throughput=(100.0, True))
+        current = doc(throughput=(80.0, True))  # 20% slower: allowed
+        assert check_regression(current, base) == []
+
+    def test_wall_time_direction_inverted(self):
+        base = doc(wall=(2.0, False))
+        slower = doc(wall=(3.0, False))  # 50% more wall time: regression
+        faster = doc(wall=(1.0, False))  # improvement, never flagged
+        assert len(check_regression(slower, base)) == 1
+        assert check_regression(faster, base) == []
+
+    def test_improvements_never_flagged(self):
+        base = doc(throughput=(100.0, True))
+        current = doc(throughput=(500.0, True))
+        assert check_regression(current, base) == []
+
+    def test_new_and_removed_benchmarks_ignored(self):
+        base = doc(old_metric=(100.0, True))
+        current = doc(new_metric=(1.0, True))
+        assert check_regression(current, base) == []
+
+    def test_custom_threshold(self):
+        base = doc(throughput=(100.0, True))
+        current = doc(throughput=(90.0, True))
+        assert check_regression(current, base, threshold=0.05) != []
+
+    def test_zero_baseline_skipped(self):
+        base = doc(throughput=(0.0, True))
+        current = doc(throughput=(0.0, True))
+        assert check_regression(current, base) == []
+
+
+class TestRendering:
+    def test_report_lists_every_benchmark(self):
+        d = doc(throughput=(123.456, True), wall=(2.5, False))
+        d["derived"] = {"speedup": 1.5}
+        report = render_report(d)
+        assert "throughput" in report
+        assert "wall" in report
+        assert "speedup" in report
+
+    def test_bench_result_round_trip(self):
+        result = BenchResult("x", 1.5, "s", False, "detail")
+        as_json = result.to_json()
+        assert as_json["value"] == 1.5
+        assert as_json["higher_is_better"] is False
+
+    def test_regression_describe_signs(self):
+        regression = Regression("m", baseline=100.0, current=50.0, change=-0.5)
+        assert "-50.0%" in regression.describe()
