@@ -31,9 +31,14 @@ def main() -> int:
                         "(default: the pre-existing --output file)")
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--requests", type=int, default=BENCH_REQUESTS)
+    parser.add_argument("--only", action="append", metavar="SUBSTRING",
+                        help="run only benchmarks whose name contains this "
+                        "substring (repeatable); the output then holds just "
+                        "that subset")
     args = parser.parse_args()
     return run_perf_cli(
-        args.output, baseline=args.baseline, jobs=args.jobs, requests=args.requests
+        args.output, baseline=args.baseline, jobs=args.jobs,
+        requests=args.requests, only=args.only,
     )
 
 

@@ -84,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
                       "and exit non-zero on >25%% regression")
     perf.add_argument("--jobs", type=int, default=4, metavar="N",
                       help="worker processes for the parallel-speedup benchmark")
+    perf.add_argument("--only", action="append", metavar="SUBSTRING",
+                      help="run only benchmarks whose name contains this "
+                      "substring (repeatable); the written output then holds "
+                      "just that subset")
 
     workload = sub.add_parser("workload", help="inspect the seeded workload")
     workload.add_argument("--requests", type=int, default=600)
@@ -256,7 +260,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "perf":
         from repro.perf import run_perf_cli
 
-        return run_perf_cli(args.output, baseline=args.baseline, jobs=args.jobs)
+        return run_perf_cli(args.output, baseline=args.baseline, jobs=args.jobs,
+                            only=args.only)
     elif args.command == "workload":
         _cmd_workload(args.requests, args.seed, args.head)
     elif args.command == "predict":

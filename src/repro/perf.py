@@ -1,12 +1,17 @@
 """The performance-regression harness behind ``BENCH_PERF.json``.
 
-Four benchmarks time the hot kernels this codebase optimises:
+The suite times the hot kernels this codebase optimises:
 
 * ``ga_evolve_batched`` / ``ga_evolve_reference`` — generations/second of
   :meth:`~repro.scheduling.ga.GAScheduler.evolve` under the batched
   crossover kernel and the per-pair reference kernel
   (``GAConfig(batched=False)``).  Both consume the identical RNG stream,
   so the comparison times exactly the same evolutionary work.
+* ``ga_evaluate_dedup`` / ``ga_evaluate_full`` — individuals/second of
+  one population costing on a *converged* population, through the
+  evaluation-reuse layer (digest → dedup → subset evaluate → scatter)
+  versus the naive evaluate-everything path; ``ga_dedup_hit_rate``
+  records the measured duplicate fraction of that population.
 * ``evaluate_scalar`` / ``evaluate_counts`` — warm-cache evaluation
   calls/second of the per-count scalar loop versus the bulk
   :meth:`~repro.pace.evaluation.EvaluationEngine.evaluate_counts` path.
@@ -20,8 +25,12 @@ Results are written as JSON with machine info and the git SHA so numbers
 are attributable; :func:`check_regression` compares two such documents
 direction-aware (each benchmark declares whether higher is better) and
 reports every metric that got more than ``threshold`` worse.
+Parallelism-bound comparisons (``sweep_speedup``/``sweep_parallel_wall``)
+are skipped — and reported as skipped — when the two documents were
+measured on machines with different ``cpu_count``: a pool's speedup is a
+property of the core count, not the code.
 
-Entry points: ``python -m repro.cli perf`` or
+Entry points: ``python -m repro.cli perf [--only SUBSTRING]`` or
 ``python benchmarks/perf/run_perf.py``; see docs/performance.md.
 """
 
@@ -41,7 +50,9 @@ import numpy as np
 __all__ = [
     "BenchResult",
     "Regression",
+    "PARALLELISM_BENCHMARKS",
     "run_suite",
+    "select_benchmarks",
     "check_regression",
     "render_report",
     "run_perf_cli",
@@ -53,6 +64,12 @@ BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "120"))
 #: Regression threshold: a metric more than this fraction worse than the
 #: committed baseline fails the run.
 DEFAULT_THRESHOLD = 0.25
+
+#: Benchmarks whose value measures the machine's parallelism rather than
+#: the code: comparing them across documents with different
+#: ``meta.machine.cpu_count`` gates on hardware, so the regression check
+#: skips (and reports) them when core counts differ.
+PARALLELISM_BENCHMARKS = frozenset({"sweep_speedup", "sweep_parallel_wall"})
 
 
 @dataclass(frozen=True)
@@ -174,6 +191,87 @@ def bench_ga_crossover(batched: bool, n_tasks: int = 30, repeats: int = 7) -> Be
     )
 
 
+def bench_ga_evaluate_dedup(
+    n_tasks: int = 2, converge_generations: int = 40, calls: int = 40,
+    repeats: int = 7,
+) -> List[BenchResult]:
+    """Population costing on a converged population: reuse layer vs naive.
+
+    Evolves the case-study GA until the population has converged (mostly
+    duplicate individuals), then times repeated costings of that *fixed*
+    population: ``ga_evaluate_full`` runs the vectorised eq.-(8)
+    evaluator over all ``population_size`` individuals,
+    ``ga_evaluate_dedup`` runs the reuse layer exactly as a late
+    generation inside ``evolve`` does — digest, look up the warm
+    evolve-scoped memo, evaluate only novel individuals, scatter.  Both
+    produce bit-identical cost vectors (this is asserted);
+    ``ga_dedup_hit_rate`` reports the reused fraction (memo + in-batch
+    duplicates), so the speedup is attributable, not asserted.
+
+    The default is a **two-task** optimisation set: in the instrumented
+    case study over half of all ``evolve`` calls run with ≤ 2 queued
+    tasks (dispatch launches startable work at every event, keeping
+    queues short), and small solution strings are where the population
+    actually fixates — at 12 tasks the ~1-bit/individual mutation churn
+    keeps ~95 % of individuals distinct and dedup is moot (see
+    docs/performance.md for the measured distribution).
+    """
+    free = [0.0] * 16
+    ga = _make_ga(batched=True, n_tasks=n_tasks)
+    ga.evolve(converge_generations, free, 0.0)
+    pop = ga.config.population_size
+
+    best_full = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            full_costs = ga._evaluate(ga._order, ga._masks, free, 0.0)
+        best_full = min(best_full, time.perf_counter() - start)
+
+    memo = {}
+    ga._population_costs(free, 0.0, memo=memo)  # warm the evolve-scoped memo
+    before = ga.stats.snapshot()
+    best_dedup = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            dedup_costs = ga._population_costs(free, 0.0, memo=memo)
+        best_dedup = min(best_dedup, time.perf_counter() - start)
+    after = ga.stats.snapshot()
+
+    if not np.array_equal(full_costs, dedup_costs):
+        raise AssertionError("dedup costing diverged from the full evaluation")
+    costed = after["rows_costed"] - before["rows_costed"]
+    evaluated = after["rows_evaluated"] - before["rows_evaluated"]
+    hit_rate = 1.0 - evaluated / costed if costed else 0.0
+
+    # End-to-end observability: the reuse a *real* evolve call achieves on
+    # this converged population (memo starts cold, novel mutants re-cost).
+    before = ga.stats.snapshot()
+    ga.evolve(25, free, 0.0)
+    after = ga.stats.snapshot()
+    evolve_costed = after["rows_costed"] - before["rows_costed"]
+    evolve_evaluated = after["rows_evaluated"] - before["rows_evaluated"]
+    evolve_hit_rate = (
+        1.0 - evolve_evaluated / evolve_costed if evolve_costed else 0.0
+    )
+
+    detail = (
+        f"best of {repeats}x{calls} costings, pop {pop}, {n_tasks} tasks, "
+        f"16 nodes, after {converge_generations} generations"
+    )
+    return [
+        BenchResult("ga_evaluate_full", calls * pop / best_full,
+                    "individuals/s", True, detail),
+        BenchResult("ga_evaluate_dedup", calls * pop / best_dedup,
+                    "individuals/s", True, detail),
+        BenchResult("ga_dedup_hit_rate", hit_rate, "fraction", True, detail),
+        BenchResult("ga_evolve_hit_rate", evolve_hit_rate, "fraction", True,
+                    f"one evolve(25) on the converged population, pop {pop}, "
+                    f"{n_tasks} tasks"),
+    ]
+
+
 def bench_evaluate(repeats: int = 200) -> List[BenchResult]:
     """Warm-cache calls/second: scalar per-count loop vs ``evaluate_counts``."""
     from repro.pace.evaluation import EvaluationEngine
@@ -269,46 +367,84 @@ def machine_info() -> Dict[str, object]:
     }
 
 
+#: Derived ratios: name -> (numerator benchmark, denominator benchmark).
+#: Computed only when both inputs were run (``--only`` subsets skip the
+#: rest).
+DERIVED_RATIOS = {
+    "ga_evolve_speedup": ("ga_evolve_batched", "ga_evolve_reference"),
+    "ga_crossover_speedup": ("ga_crossover_batched", "ga_crossover_reference"),
+    "ga_evaluate_dedup_speedup": ("ga_evaluate_dedup", "ga_evaluate_full"),
+    "evaluate_bulk_speedup": ("evaluate_counts", "evaluate_scalar"),
+}
+
+
+def _suite_specs(requests: int, jobs: int):
+    """(produced names, progress note, thunk) for every benchmark group."""
+    return [
+        (("ga_evolve_batched",), "GA evolve (batched kernel)...",
+         lambda: [bench_ga_evolve(batched=True)]),
+        (("ga_evolve_reference",), "GA evolve (per-pair reference kernel)...",
+         lambda: [bench_ga_evolve(batched=False)]),
+        (("ga_crossover_batched", "ga_crossover_reference"),
+         "GA crossover kernel (batched vs reference)...",
+         lambda: [bench_ga_crossover(batched=True),
+                  bench_ga_crossover(batched=False)]),
+        (("ga_evaluate_full", "ga_evaluate_dedup", "ga_dedup_hit_rate",
+          "ga_evolve_hit_rate"),
+         "GA population costing (dedup reuse vs full evaluation)...",
+         bench_ga_evaluate_dedup),
+        (("evaluate_scalar", "evaluate_counts"),
+         "evaluation engine (scalar vs bulk)...", bench_evaluate),
+        (("casestudy_wall",), f"case study wall time ({requests} requests)...",
+         lambda: [bench_casestudy(requests)]),
+        (("sweep_sequential_wall", "sweep_parallel_wall", "sweep_speedup"),
+         f"sweep speedup (4 seeds, jobs={jobs})...",
+         lambda: bench_sweep_speedup(requests, jobs=jobs)),
+    ]
+
+
+def select_benchmarks(only: Optional[List[str]], requests: int = BENCH_REQUESTS,
+                      jobs: int = 4):
+    """The suite specs whose produced benchmark names match *only*.
+
+    *only* is a list of substrings (``None``/empty = everything); a spec
+    runs when any produced name contains any of the substrings.
+    """
+    specs = _suite_specs(requests, jobs)
+    if not only:
+        return specs
+    return [
+        spec for spec in specs
+        if any(sub in name for name in spec[0] for sub in only)
+    ]
+
+
 def run_suite(
     *,
     requests: int = BENCH_REQUESTS,
     jobs: int = 4,
     progress: Optional[Callable[[str], None]] = None,
+    only: Optional[List[str]] = None,
 ) -> Dict[str, object]:
-    """Run every benchmark; returns the BENCH_PERF.json document."""
+    """Run the benchmarks (all, or the ``only`` subset); returns the doc."""
 
     def note(message: str) -> None:
         if progress is not None:
             progress(message)
 
+    specs = select_benchmarks(only, requests, jobs)
+    if only and not specs:
+        raise ValueError(f"--only {only!r} matches no benchmark names")
     results: List[BenchResult] = []
-    note("GA evolve (batched kernel)...")
-    results.append(bench_ga_evolve(batched=True))
-    note("GA evolve (per-pair reference kernel)...")
-    results.append(bench_ga_evolve(batched=False))
-    note("GA crossover kernel (batched vs reference)...")
-    results.append(bench_ga_crossover(batched=True))
-    results.append(bench_ga_crossover(batched=False))
-    note("evaluation engine (scalar vs bulk)...")
-    results.extend(bench_evaluate())
-    note(f"case study wall time ({requests} requests)...")
-    results.append(bench_casestudy(requests))
-    note(f"sweep speedup (4 seeds, jobs={jobs})...")
-    results.extend(bench_sweep_speedup(requests, jobs=jobs))
+    for _, message, thunk in specs:
+        note(message)
+        results.extend(thunk())
 
     by_name = {r.name: r for r in results}
     derived = {
-        "ga_evolve_speedup": (
-            by_name["ga_evolve_batched"].value
-            / by_name["ga_evolve_reference"].value
-        ),
-        "ga_crossover_speedup": (
-            by_name["ga_crossover_batched"].value
-            / by_name["ga_crossover_reference"].value
-        ),
-        "evaluate_bulk_speedup": (
-            by_name["evaluate_counts"].value / by_name["evaluate_scalar"].value
-        ),
+        name: by_name[num].value / by_name[den].value
+        for name, (num, den) in DERIVED_RATIOS.items()
+        if num in by_name and den in by_name
     }
     return {
         "meta": {
@@ -325,8 +461,17 @@ def run_suite(
 # --------------------------------------------------------------- regression
 
 
+def _cpu_count(doc: Dict) -> Optional[int]:
+    value = doc.get("meta", {}).get("machine", {}).get("cpu_count")
+    return None if value is None else int(value)
+
+
 def check_regression(
-    current: Dict, baseline: Dict, threshold: float = DEFAULT_THRESHOLD
+    current: Dict,
+    baseline: Dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    *,
+    skipped: Optional[List[str]] = None,
 ) -> List[Regression]:
     """Direction-aware comparison of two BENCH_PERF documents.
 
@@ -334,12 +479,27 @@ def check_regression(
     direction (lower for throughput/speedup metrics, higher for wall
     times).  Benchmarks present in only one document are ignored, so the
     suite can grow without invalidating committed baselines.
+
+    When the two documents were measured on machines with different
+    ``meta.machine.cpu_count``, the :data:`PARALLELISM_BENCHMARKS`
+    comparisons are skipped — a process pool's speedup is bounded by the
+    core count, so e.g. a single-CPU CI container's ≲1x ``sweep_speedup``
+    baseline would otherwise poison the gate on any other machine.
+    Skipped names are appended to *skipped* when a list is supplied.
     """
     regressions: List[Regression] = []
     base_benchmarks = baseline.get("benchmarks", {})
+    cpu_now, cpu_base = _cpu_count(current), _cpu_count(baseline)
+    cores_differ = (
+        cpu_now is not None and cpu_base is not None and cpu_now != cpu_base
+    )
     for name, entry in current.get("benchmarks", {}).items():
         base = base_benchmarks.get(name)
         if base is None:
+            continue
+        if cores_differ and name in PARALLELISM_BENCHMARKS:
+            if skipped is not None:
+                skipped.append(name)
             continue
         base_value = float(base["value"])
         value = float(entry["value"])
@@ -376,13 +536,17 @@ def run_perf_cli(
     baseline: Optional[str] = None,
     jobs: int = 4,
     requests: int = BENCH_REQUESTS,
+    only: Optional[List[str]] = None,
 ) -> int:
     """Run the suite, write *output*, compare against *baseline* if present.
 
     Returns a process exit code: 0 on success, 1 when any benchmark
     regressed by more than 25 % against the baseline.  When *baseline* is
     ``None`` the pre-existing *output* file (the committed baseline)
-    serves as the comparison point.
+    serves as the comparison point.  *only* restricts the run to
+    benchmarks whose names contain any of the given substrings — note the
+    written *output* then holds just that subset, so point ``--output``
+    elsewhere when iterating against a committed full baseline.
     """
     baseline_path = baseline if baseline is not None else output
     baseline_doc = None
@@ -393,6 +557,7 @@ def run_perf_cli(
     doc = run_suite(
         requests=requests, jobs=jobs,
         progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        only=only,
     )
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
@@ -403,7 +568,15 @@ def run_perf_cli(
     if baseline_doc is None:
         print("no baseline to compare against", file=sys.stderr)
         return 0
-    regressions = check_regression(doc, baseline_doc)
+    skipped: List[str] = []
+    regressions = check_regression(doc, baseline_doc, skipped=skipped)
+    if skipped:
+        print(
+            f"skipped cross-machine comparisons (cpu_count "
+            f"{_cpu_count(doc)} vs baseline {_cpu_count(baseline_doc)}): "
+            + ", ".join(skipped),
+            file=sys.stderr,
+        )
     if regressions:
         print("\nPERFORMANCE REGRESSIONS (>25% worse than baseline):")
         for regression in regressions:

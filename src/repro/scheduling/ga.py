@@ -39,6 +39,11 @@ from repro.scheduling.batched import (
     batched_order_splice,
 )
 from repro.scheduling.coding import SolutionString
+from repro.scheduling.evalreuse import (
+    EvalReuseStats,
+    availability_key,
+    packed_digest_buffer,
+)
 from repro.scheduling.cost import CostWeights
 from repro.scheduling.fitness import scale_fitness
 from repro.scheduling.operators import stochastic_remainder_selection
@@ -77,6 +82,21 @@ class GAConfig:
     #: settings produce byte-identical populations — the flag exists for
     #: the property tests and the perf-regression baseline.
     batched: bool = True
+    #: Evaluation-reuse layer: dedup duplicate individuals before eq.-(8)
+    #: costing, carry elite costs between generations of one ``evolve``
+    #: call, and cache the final cost vector for ``best_solution`` under
+    #: unchanged availability.  eq. (8) is pure and the vectorised
+    #: evaluator is row-independent, so reuse is byte-identical to the
+    #: naive path (property-tested); ``False`` selects the naive
+    #: evaluate-everything reference used by those tests and the perf
+    #: baseline.
+    eval_reuse: bool = True
+    #: Convergence early-stop: halt a generation loop after this many
+    #: consecutive generations without best-cost improvement.  ``None``
+    #: (default) never stops early — the opt-in changes how many
+    #: generations (and RNG draws) a call consumes, so it is off for the
+    #: byte-identical default path.
+    early_stop_after: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -91,6 +111,8 @@ class GAConfig:
             raise ValidationError("elite_count must be in [0, population_size)")
         if self.idle_weighting not in ("linear", "uniform", "exponential"):
             raise ValidationError(f"unknown idle weighting {self.idle_weighting!r}")
+        if self.early_stop_after is not None and self.early_stop_after < 1:
+            raise ValidationError("early_stop_after must be >= 1 (or None)")
 
 
 class GAScheduler:
@@ -145,6 +167,13 @@ class GAScheduler:
         self._generations = 0
         # (generation index, best cost) samples, one per evolved generation.
         self._history: List[Tuple[int, float]] = []
+        # Evaluation-reuse observability + the event-level cost cache: the
+        # final cost vector of the last full costing, keyed by the
+        # availability it was computed under.  Invalidated whenever the
+        # population changes outside a costing (task churn, mid-evolve).
+        self._stats = EvalReuseStats()
+        self._cached_costs: Optional[np.ndarray] = None
+        self._cost_cache_key: Optional[Tuple[bytes, float]] = None
 
     # ------------------------------------------------------------------ state
 
@@ -178,6 +207,28 @@ class GAScheduler:
     def generations(self) -> int:
         """Total generations evolved so far."""
         return self._generations
+
+    @property
+    def stats(self) -> EvalReuseStats:
+        """Evaluation-reuse counters (live object; see ``stats.snapshot()``).
+
+        Dedup hits, elite carries, event-cache hits/misses, and early
+        stops — the observability behind docs/performance.md's measured
+        hit rates.
+        """
+        return self._stats
+
+    @property
+    def last_costs(self) -> Optional[np.ndarray]:
+        """The cached final cost vector of the last costing (copy).
+
+        Valid for the *current* population under the availability it was
+        computed with (see :meth:`best_solution`); ``None`` after task
+        churn or before any evaluation.
+        """
+        if self._cached_costs is None:
+            return None
+        return self._cached_costs.copy()
 
     @property
     def history(self) -> List[Tuple[int, float]]:
@@ -279,6 +330,7 @@ class GAScheduler:
         """
         if task_id in self._row_of:
             raise ScheduleError(f"task {task_id} already in optimisation set")
+        self._invalidate_cost_cache()
         new_row = len(self._id_order)
         self._id_order.append(task_id)
         self._row_of[task_id] = new_row
@@ -311,6 +363,7 @@ class GAScheduler:
         solutions (see DESIGN.md on the packed-array invariants).
         """
         row = self._require_row(task_id)
+        self._invalidate_cost_cache()
         del self._row_of[task_id]
         last = len(self._id_order) - 1
         moved_id = self._id_order[last]
@@ -339,6 +392,94 @@ class GAScheduler:
 
     # ------------------------------------------------------------- evaluation
 
+    def _invalidate_cost_cache(self) -> None:
+        """Drop the event-level cost cache (population about to change)."""
+        self._cached_costs = None
+        self._cost_cache_key = None
+
+    def _store_cost_cache(
+        self, costs: np.ndarray, node_free_times: Sequence[float], ref_time: float
+    ) -> None:
+        self._cached_costs = costs
+        self._cost_cache_key = availability_key(node_free_times, ref_time)
+
+    def _cached_costs_for(
+        self, node_free_times: Sequence[float], ref_time: float
+    ) -> Optional[np.ndarray]:
+        """The cached cost vector iff availability matches, else ``None``."""
+        if self._cached_costs is None or self._cost_cache_key is None:
+            return None
+        if availability_key(node_free_times, ref_time) != self._cost_cache_key:
+            return None
+        return self._cached_costs
+
+    def _population_costs(
+        self,
+        node_free_times: Sequence[float],
+        ref_time: float,
+        *,
+        memo: Optional[Dict[bytes, float]] = None,
+    ) -> np.ndarray:
+        """eq.-(8) costs of the current population, through the reuse layer.
+
+        ``memo`` is the evolve-scoped digest→cost map: every cost
+        computed earlier in the same ``evolve`` call (availability is
+        fixed for the whole call), which subsumes elite carry-forward —
+        elites re-enter the next generation unchanged, so their digests
+        always hit.  Costing then (1) digests every individual in one
+        vectorised pass, (2) looks each digest up in the memo, (3)
+        evaluates only the first occurrence of each unknown digest, and
+        (4) scatters costs back over the whole population.  Because
+        eq. (8) is pure and the vectorised evaluator is row-independent,
+        the result is bit-identical to evaluating everything (see
+        :mod:`repro.scheduling.evalreuse`).  On a converged population
+        nearly every digest hits, so a late-run generation costs a
+        handful of novel schedules instead of ``population_size``.
+        """
+        assert self._order is not None and self._masks is not None
+        if not self._config.eval_reuse:
+            return self._evaluate(self._order, self._masks, node_free_times, ref_time)
+        pop = self._order.shape[0]
+        stats = self._stats
+        stats.rows_costed += pop
+        buffer, stride = packed_digest_buffer(self._order, self._masks)
+        costs = np.empty(pop)
+        unknown = np.zeros(pop, dtype=bool)
+        slot_of = np.empty(pop, dtype=np.int64)
+        eval_rows: List[int] = []
+        eval_keys: List[bytes] = []
+        pending: Dict[bytes, int] = {}
+        for p in range(pop):
+            digest = buffer[p * stride:(p + 1) * stride]
+            if memo is not None:
+                cached = memo.get(digest)
+                if cached is not None:
+                    costs[p] = cached
+                    stats.carry_hits += 1
+                    continue
+            slot = pending.get(digest)
+            if slot is None:
+                slot = len(eval_rows)
+                pending[digest] = slot
+                eval_rows.append(p)
+                eval_keys.append(digest)
+            else:
+                stats.dedup_hits += 1
+            unknown[p] = True
+            slot_of[p] = slot
+        if eval_rows:
+            rows_arr = np.asarray(eval_rows, dtype=np.int64)
+            sub_costs = self._evaluate(
+                self._order[rows_arr], self._masks[rows_arr],
+                node_free_times, ref_time,
+            )
+            stats.rows_evaluated += rows_arr.size
+            costs[unknown] = sub_costs[slot_of[unknown]]
+            if memo is not None:
+                for slot, digest in enumerate(eval_keys):
+                    memo[digest] = float(sub_costs[slot])
+        return costs
+
     def _evaluate(
         self,
         order: np.ndarray,
@@ -346,7 +487,15 @@ class GAScheduler:
         node_free_times: Sequence[float],
         ref_time: float,
     ) -> np.ndarray:
-        """Vectorised eq.-(8) cost of every individual in (order, masks)."""
+        """Vectorised eq.-(8) cost of every individual in (order, masks).
+
+        Scratch buffers (``free``/``scratch``/``gap``/``has_gap``/
+        ``pocket``) are allocated once per call and reused across all *m*
+        task steps via ``out=``/`copyto` — the per-step ``np.where`` and
+        ``np.tile`` temporaries were measurable churn at event frequency.
+        Every rewritten expression computes the same values in the same
+        order, so costs are bit-identical to the allocating version.
+        """
         pop, m = order.shape
         n = masks.shape[2]
         free0 = np.maximum(np.asarray(node_free_times, dtype=float), ref_time)
@@ -354,12 +503,18 @@ class GAScheduler:
             raise ScheduleError(
                 f"node_free_times has {free0.size} entries, resource has {n}"
             )
-        free = np.tile(free0, (pop, 1))
+        self._stats.evaluate_calls += 1
+        free = np.empty((pop, n))
+        free[:] = free0
         rows_idx = np.arange(pop)
         makespan = np.full(pop, ref_time)
         theta = np.zeros(pop)
         idle_len = np.zeros(pop)
         idle_sq = np.zeros(pop)  # Σ (b² − a²)/2 relative to ref, linear weight
+        scratch = np.empty((pop, n))
+        gap = np.empty((pop, n))
+        pocket = np.empty((pop, n))
+        has_gap = np.empty((pop, n), dtype=bool)
         exp_pockets: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         weighting = self._config.idle_weighting
         dtable = self._dtable
@@ -367,24 +522,35 @@ class GAScheduler:
         for j in range(m):
             rows = order[:, j]
             msk = masks[rows_idx, rows]  # (pop, n)
-            start = np.where(msk, free, -np.inf).max(axis=1)
+            scratch.fill(-np.inf)
+            np.copyto(scratch, free, where=msk)
+            start = scratch.max(axis=1)
             counts = msk.sum(axis=1)
             dur = dtable[rows, counts - 1]
             comp = start + dur
-            gap = np.where(msk, start[:, None] - free, 0.0)
-            has_gap = gap > 0
-            idle_len += np.where(has_gap, gap, 0.0).sum(axis=1)
+            np.subtract(start[:, None], free, out=scratch)
+            gap.fill(0.0)
+            np.copyto(gap, scratch, where=msk)
+            np.greater(gap, 0.0, out=has_gap)
+            pocket.fill(0.0)
+            np.copyto(pocket, gap, where=has_gap)
+            idle_len += pocket.sum(axis=1)
             if weighting == "linear":
-                b = start[:, None] - ref_time
-                a = free - ref_time
-                idle_sq += np.where(has_gap, (b * b - a * a) / 2.0, 0.0).sum(axis=1)
+                b = start - ref_time
+                np.subtract(free, ref_time, out=scratch)
+                np.multiply(scratch, scratch, out=scratch)  # a²
+                np.subtract((b * b)[:, None], scratch, out=scratch)  # b² − a²
+                np.divide(scratch, 2.0, out=scratch)
+                pocket.fill(0.0)
+                np.copyto(pocket, scratch, where=has_gap)
+                idle_sq += pocket.sum(axis=1)
             elif weighting == "exponential":
                 a = free - ref_time
                 b = np.broadcast_to(start[:, None], msk.shape) - ref_time
-                exp_pockets.append((a, b, has_gap))
+                exp_pockets.append((a, b, has_gap.copy()))
             theta += np.maximum(comp - deadlines[rows], 0.0)
-            free = np.where(msk, comp[:, None], free)
-            makespan = np.maximum(makespan, comp)
+            np.copyto(free, np.broadcast_to(comp[:, None], (pop, n)), where=msk)
+            np.maximum(makespan, comp, out=makespan)
         omega = makespan - ref_time
         if weighting == "linear":
             with np.errstate(invalid="ignore", divide="ignore"):
@@ -607,6 +773,7 @@ class GAScheduler:
         costs: np.ndarray,
         node_free_times: Sequence[float],
         ref_time: float,
+        memo: Optional[Dict[bytes, float]] = None,
     ) -> np.ndarray:
         """Replace the worst individual with the greedy re-map of the best."""
         assert self._order is not None and self._masks is not None
@@ -628,6 +795,14 @@ class GAScheduler:
             self._masks[worst] = candidate_masks
             costs = costs.copy()
             costs[worst] = cand_cost
+            if memo is not None:
+                # The injected individual is likely to elite its way into
+                # the next generation; remember its (already computed) cost.
+                digest, _ = packed_digest_buffer(
+                    self._order[worst : worst + 1],
+                    self._masks[worst : worst + 1],
+                )
+                memo[digest] = float(cand_cost)
         return costs
 
     def evolve(
@@ -641,6 +816,17 @@ class GAScheduler:
         A generation is: cost the population (eq. 8) → scale to fitness
         (eq. 9) → carry elites → stochastic-remainder selection → pairwise
         two-part crossover → two-part mutation.
+
+        Under ``GAConfig(eval_reuse=True)`` (the default) each costing
+        deduplicates identical individuals and the elites carried into a
+        new generation keep their previous costs (availability is fixed
+        within one call), which is byte-identical to evaluating everything
+        — populations, RNG stream, and cost history match the
+        ``eval_reuse=False`` reference bit for bit.  The final cost vector
+        is retained so an immediately following :meth:`best_solution`
+        under the same availability pays no extra evaluation.  With
+        ``GAConfig(early_stop_after=K)`` (off by default) the loop halts
+        after K consecutive generations without best-cost improvement.
         """
         if generations < 0:
             raise ValidationError(f"generations must be >= 0, got {generations}")
@@ -648,9 +834,18 @@ class GAScheduler:
             return 0.0
         assert self._masks is not None
         cfg = self._config
-        costs = self._evaluate(self._order, self._masks, node_free_times, ref_time)
+        self._invalidate_cost_cache()
+        # The evolve-scoped digest→cost memo: availability is fixed for
+        # the whole call, so every cost computed in one generation is
+        # reusable in every later one — elites carry their costs forward,
+        # and on a converged population most children are re-creations of
+        # already-costed individuals.
+        memo: Optional[Dict[bytes, float]] = {} if cfg.eval_reuse else None
+        costs = self._population_costs(node_free_times, ref_time, memo=memo)
         if cfg.memetic:
-            costs = self._memetic_step(costs, node_free_times, ref_time)
+            costs = self._memetic_step(costs, node_free_times, ref_time, memo)
+        best_seen = float(costs.min())
+        stalled = 0
         for _ in range(generations):
             fitness = scale_fitness(costs)
             elite_idx = np.argsort(costs, kind="stable")[: cfg.elite_count]
@@ -661,20 +856,49 @@ class GAScheduler:
             self._order = np.concatenate([self._order[elite_idx], new_order])
             self._masks = np.concatenate([self._masks[elite_idx], new_masks])
             self._generations += 1
-            costs = self._evaluate(self._order, self._masks, node_free_times, ref_time)
+            costs = self._population_costs(node_free_times, ref_time, memo=memo)
             if cfg.memetic:
-                costs = self._memetic_step(costs, node_free_times, ref_time)
+                costs = self._memetic_step(costs, node_free_times, ref_time, memo)
             self._history.append((self._generations, float(costs.min())))
+            if cfg.early_stop_after is not None:
+                new_best = float(costs.min())
+                if new_best < best_seen:
+                    best_seen = new_best
+                    stalled = 0
+                else:
+                    stalled += 1
+                    if stalled >= cfg.early_stop_after:
+                        self._stats.early_stops += 1
+                        break
+        if cfg.eval_reuse:
+            self._store_cost_cache(costs, node_free_times, ref_time)
         return float(costs.min())
 
     def best_solution(
         self, node_free_times: Sequence[float], ref_time: float
     ) -> SolutionString:
-        """The lowest-cost individual under the given availability."""
+        """The lowest-cost individual under the given availability.
+
+        With ``eval_reuse`` on, the cost vector retained by the last
+        :meth:`evolve` (or ``best_solution``) call is reused when the
+        population and the availability key are unchanged — a scheduling
+        event's ``evolve`` → dispatch → ``best_solution`` sequence then
+        pays no second full evaluation.  Any ``add_task`` /
+        ``remove_task`` / availability change recomputes.
+        """
         if self._order is None:
             raise ScheduleError("population is empty (no tasks)")
         assert self._masks is not None
-        costs = self._evaluate(self._order, self._masks, node_free_times, ref_time)
+        if self._config.eval_reuse:
+            costs = self._cached_costs_for(node_free_times, ref_time)
+            if costs is not None:
+                self._stats.event_cache_hits += 1
+            else:
+                self._stats.event_cache_misses += 1
+                costs = self._population_costs(node_free_times, ref_time)
+                self._store_cost_cache(costs, node_free_times, ref_time)
+        else:
+            costs = self._evaluate(self._order, self._masks, node_free_times, ref_time)
         return self._solution_at(int(np.argmin(costs)))
 
     def reference_cost(

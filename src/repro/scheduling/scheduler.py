@@ -399,9 +399,13 @@ class LocalScheduler:
         now = self._sim.now
         free = self.effective_free_times()
         self._ga.evolve(self._generations_per_event, free, now)
-        self._dispatch()
+        # Hand the same availability vector to dispatch: the GA retained
+        # its final cost vector for exactly this (free, now) key, so the
+        # dispatch-side best_solution reuses it instead of paying one
+        # more full eq.-(8) evaluation per scheduling event.
+        self._dispatch(free)
 
-    def _dispatch(self) -> None:
+    def _dispatch(self, free: Optional[np.ndarray] = None) -> None:
         """Launch every incumbent-schedule entry whose start time is now.
 
         A single pass suffices: the built schedule is conflict-free, so all
@@ -412,7 +416,8 @@ class LocalScheduler:
         """
         assert self._ga is not None
         now = self._sim.now
-        free = self.effective_free_times()
+        if free is None:
+            free = self.effective_free_times()
         best = self._ga.best_solution(free, now)
         schedule = build_schedule(best, free, self._task_duration, ref_time=now)
         self._cached_node_free = np.array(

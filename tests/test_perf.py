@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
-from repro.perf import BenchResult, Regression, check_regression, render_report
+import pytest
+
+from repro.perf import (
+    PARALLELISM_BENCHMARKS,
+    BenchResult,
+    Regression,
+    check_regression,
+    render_report,
+    run_suite,
+    select_benchmarks,
+)
 
 
-def doc(**values):
+def doc(cpu_count=1, **values):
     """A minimal BENCH_PERF document; values are (value, higher_is_better)."""
     return {
         "meta": {"git_sha": "0" * 40, "requests": 120, "jobs": 4,
-                 "machine": {"cpu_count": 1}},
+                 "machine": {"cpu_count": cpu_count}},
         "benchmarks": {
             name: {"value": value, "unit": "u", "higher_is_better": hib,
                    "detail": ""}
@@ -63,6 +73,84 @@ class TestCheckRegression:
         base = doc(throughput=(0.0, True))
         current = doc(throughput=(0.0, True))
         assert check_regression(current, base) == []
+
+
+class TestCpuCountSkip:
+    """Cross-machine comparisons of parallelism-bound benchmarks skip.
+
+    A 1-CPU container's ≲1x ``sweep_speedup`` baseline must not fail the
+    gate on a multi-core machine (or vice versa): the value measures the
+    core count, not the code.  Code-bound benchmarks still gate.
+    """
+
+    def test_parallelism_benchmarks_are_the_sweep_pair(self):
+        assert PARALLELISM_BENCHMARKS == {"sweep_speedup", "sweep_parallel_wall"}
+
+    def test_skipped_when_core_counts_differ(self):
+        base = doc(cpu_count=8, sweep_speedup=(3.5, True))
+        current = doc(cpu_count=1, sweep_speedup=(0.85, True))  # 76% "worse"
+        skipped = []
+        assert check_regression(current, base, skipped=skipped) == []
+        assert skipped == ["sweep_speedup"]
+
+    def test_gated_when_core_counts_equal(self):
+        base = doc(cpu_count=4, sweep_speedup=(3.5, True))
+        current = doc(cpu_count=4, sweep_speedup=(0.85, True))
+        skipped = []
+        [regression] = check_regression(current, base, skipped=skipped)
+        assert regression.name == "sweep_speedup"
+        assert skipped == []
+
+    def test_code_bound_benchmarks_gate_across_machines(self):
+        base = doc(cpu_count=8, casestudy_wall=(2.0, False),
+                   sweep_parallel_wall=(1.0, False))
+        current = doc(cpu_count=1, casestudy_wall=(4.0, False),
+                      sweep_parallel_wall=(5.0, False))
+        skipped = []
+        [regression] = check_regression(current, base, skipped=skipped)
+        assert regression.name == "casestudy_wall"
+        assert skipped == ["sweep_parallel_wall"]
+
+    def test_missing_cpu_count_compares_normally(self):
+        base = doc(cpu_count=None, sweep_speedup=(3.5, True))
+        current = doc(cpu_count=4, sweep_speedup=(0.85, True))
+        assert len(check_regression(current, base)) == 1
+
+    def test_skipped_list_optional(self):
+        base = doc(cpu_count=8, sweep_speedup=(3.5, True))
+        current = doc(cpu_count=1, sweep_speedup=(0.85, True))
+        assert check_regression(current, base) == []
+
+
+class TestSelectBenchmarks:
+    """``--only SUBSTRING`` narrows the suite without running anything."""
+
+    @staticmethod
+    def names(specs):
+        return [name for spec in specs for name in spec[0]]
+
+    def test_no_filter_returns_everything(self):
+        all_names = self.names(select_benchmarks(None))
+        assert "ga_evolve_batched" in all_names
+        assert "ga_evaluate_dedup" in all_names
+        assert "casestudy_wall" in all_names
+        assert self.names(select_benchmarks([])) == all_names
+
+    def test_substring_selects_matching_group(self):
+        selected = self.names(select_benchmarks(["dedup"]))
+        assert "ga_evaluate_dedup" in selected
+        assert "ga_evaluate_full" in selected  # same group, runs together
+        assert "casestudy_wall" not in selected
+
+    def test_multiple_substrings_union(self):
+        selected = self.names(select_benchmarks(["casestudy", "crossover"]))
+        assert "casestudy_wall" in selected
+        assert "ga_crossover_batched" in selected
+        assert "sweep_speedup" not in selected
+
+    def test_unmatched_filter_raises_before_running(self):
+        with pytest.raises(ValueError, match="no benchmark"):
+            run_suite(only=["no-such-benchmark"])
 
 
 class TestRendering:
