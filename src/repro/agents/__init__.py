@@ -11,7 +11,8 @@ from repro.agents.agent import Agent, RequestEnvelope, TaskResult
 from repro.agents.discovery import Decision, DiscoveryConfig, DiscoveryOutcome, discover
 from repro.agents.hierarchy import Hierarchy, wire_hierarchy
 from repro.agents.matchmaking import MatchResult, match_request
-from repro.agents.portal import UserPortal
+from repro.agents.portal import PortalStats, UserPortal
+from repro.agents.resilience import ResilienceConfig
 from repro.agents.service_info import ServiceInfo
 
 __all__ = [
@@ -31,6 +32,8 @@ __all__ = [
     "wire_hierarchy",
     "MatchResult",
     "match_request",
+    "PortalStats",
+    "ResilienceConfig",
     "UserPortal",
     "ServiceInfo",
 ]

@@ -108,9 +108,15 @@ class EventPushStrategy(AdvertisementStrategy):
     def start(self, agent: "Agent") -> None:
         if self._active:
             raise ValidationError("strategy already started")
+        if self._agent is not None and agent is not self._agent:
+            raise ValidationError("strategy already bound to another agent")
+        if self._agent is None:
+            # Subscribe exactly once: a crash/restart cycle re-enters
+            # start() with the callback still registered, and subscribing
+            # again would double every subsequent push.
+            agent.scheduler.on_service_change(self._maybe_push)
         self._agent = agent
         self._active = True
-        agent.scheduler.on_service_change(self._maybe_push)
         # Seed neighbours with an initial advertisement.
         agent.push_to_neighbours()
         self._last_push = agent.sim.now

@@ -22,18 +22,20 @@ An agent:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.agents.advertisement import AdvertisementStrategy, NoAdvertisement
 from repro.net.payloads import RequestEnvelope, TaskResult
 from repro.agents.discovery import Decision, DiscoveryConfig, DiscoveryOutcome, discover
 from repro.agents.matchmaking import MatchResult, match_request
+from repro.agents.resilience import ResilienceConfig
 from repro.agents.service_info import ServiceInfo
 from repro.errors import AgentError, TransportError
 from repro.net.message import Endpoint, Message, MessageKind
 from repro.net.transport import Transport
 from repro.pace.hardware import DEFAULT_CATALOGUE, HardwareCatalogue
 from repro.scheduling.scheduler import LocalScheduler
+from repro.sim.events import EventHandle, Priority
 from repro.tasks.task import Task, TaskRequest
 
 __all__ = ["RequestEnvelope", "TaskResult", "Agent"]
@@ -56,6 +58,26 @@ class AgentStats:
     pulls_answered: int = 0
     advertisements_received: int = 0
     send_failures: int = 0
+    # Resilience-layer counters (all zero with the layer disabled).
+    acks_sent: int = 0
+    acks_received: int = 0
+    retries: int = 0
+    reroutes: int = 0
+    gave_up: int = 0
+    duplicates_ignored: int = 0
+    registry_expired: int = 0
+
+
+@dataclass
+class _PendingForward:
+    """One unacknowledged forwarded REQUEST awaiting its ACK."""
+
+    envelope: RequestEnvelope
+    hops: int
+    target: Endpoint
+    attempt: int
+    tried: FrozenSet[Endpoint]
+    handle: EventHandle
 
 
 class Agent:
@@ -90,6 +112,7 @@ class Agent:
         catalogue: HardwareCatalogue = DEFAULT_CATALOGUE,
         discovery_config: DiscoveryConfig = DiscoveryConfig(),
         advertisement: Optional[AdvertisementStrategy] = None,
+        resilience: ResilienceConfig = ResilienceConfig(),
     ) -> None:
         if not name:
             raise AgentError("agent name must be non-empty")
@@ -99,13 +122,22 @@ class Agent:
         self._transport = transport
         self._catalogue = catalogue
         self._discovery_config = discovery_config
+        self._resilience = resilience
         self._advertisement = advertisement or NoAdvertisement()
         self._parent: Optional["Agent"] = None
         self._children: List["Agent"] = []
         self._registry: Dict[Endpoint, ServiceInfo] = {}
+        self._registry_time: Dict[Endpoint, float] = {}
         self._reply_to: Dict[int, RequestEnvelope] = {}  # task id -> envelope
         self._stats = AgentStats()
         self._outcomes: List[Tuple[int, DiscoveryOutcome]] = []
+        # request id -> unacknowledged forward (resilience layer).
+        self._pending_acks: Dict[int, _PendingForward] = {}
+        # (sender, request id, hops) triples already processed — dedups the
+        # retransmissions an at-least-once sender produces when its ACK,
+        # not the REQUEST itself, was lost.  Only populated when enabled.
+        self._seen_forwards: Set[Tuple[Endpoint, int, int]] = set()
+        self._active = True
         transport.register(endpoint, self._handle_message)
         scheduler.on_result(self._handle_local_completion)
 
@@ -150,6 +182,21 @@ class Agent:
     def stats(self) -> AgentStats:
         """Routing counters."""
         return self._stats
+
+    @property
+    def active(self) -> bool:
+        """Whether the agent is on the grid (not crashed)."""
+        return self._active
+
+    @property
+    def resilience(self) -> ResilienceConfig:
+        """The resilience policy this agent runs."""
+        return self._resilience
+
+    @property
+    def pending_ack_count(self) -> int:
+        """Forwarded requests still awaiting acknowledgement."""
+        return len(self._pending_acks)
 
     @property
     def registry(self) -> Dict[Endpoint, ServiceInfo]:
@@ -201,17 +248,45 @@ class Agent:
         self._advertisement.stop()
 
     def deactivate(self) -> None:
-        """Take this agent off the grid (crash simulation).
+        """Take this agent off the grid (crash simulation).  Idempotent.
 
-        The endpoint unregisters, the advertisement strategy stops, and
-        the registry is dropped.  Neighbours are *not* informed — they
-        discover the absence through failed sends, exactly like a crashed
+        The endpoint unregisters, the advertisement strategy stops, the
+        registry is dropped, and — crucially for restartability — every
+        sim event this agent owns (ack-timeout timers; the advertisement
+        timer via ``stop()``) is cancelled, so a later
+        :meth:`reactivate` cannot double-fire stale timers.  Neighbours
+        are *not* informed — they discover the absence through failed
+        sends and expiring registry entries, exactly like a crashed
         process behind a dead socket.
         """
+        if not self._active:
+            return
+        self._active = False
         self.stop()
         if self._transport.is_registered(self._endpoint):
             self._transport.unregister(self._endpoint)
+        for pending in self._pending_acks.values():
+            pending.handle.cancel()
+        self._pending_acks.clear()
         self._registry.clear()
+        self._registry_time.clear()
+
+    def reactivate(self) -> None:
+        """Return a crashed agent to the grid — the inverse of
+        :meth:`deactivate`.  Idempotent.
+
+        The endpoint re-registers, the advertisement strategy restarts
+        (a periodic-pull strategy immediately re-pulls every neighbour,
+        warming the empty registry), and routing resumes.  Local tasks
+        accepted before the crash are unaffected: the paper's local
+        scheduler is a separate system that "functions independently"
+        of its fronting agent (§2.2).
+        """
+        if self._active:
+            return
+        self._transport.register(self._endpoint, self._handle_message)
+        self._active = True
+        self.start()
 
     def _send_best_effort(self, message: Message) -> bool:
         """Send, tolerating a dead recipient; returns delivery acceptance."""
@@ -220,6 +295,7 @@ class Agent:
         except TransportError:
             self._stats.send_failures += 1
             self._registry.pop(message.recipient, None)  # stale record
+            self._registry_time.pop(message.recipient, None)
             return False
         return True
 
@@ -261,18 +337,47 @@ class Agent:
     def _process_request(self, envelope: RequestEnvelope, hops: int) -> None:
         self._stats.requests_seen += 1
         envelope = envelope.visited(self._name)
+        self._route(envelope, hops, exclude=frozenset(), attempt=0)
+
+    def _route(
+        self,
+        envelope: RequestEnvelope,
+        hops: int,
+        *,
+        exclude: FrozenSet[Endpoint],
+        attempt: int,
+        prev_target: Optional[Endpoint] = None,
+    ) -> None:
+        """Run discovery for *envelope* and act on the decision.
+
+        ``exclude`` holds targets already tried for this request at this
+        station (empty on first routing); retries re-enter here with the
+        failed targets excluded so the request re-routes to the
+        next-best neighbour instead of hammering a dead one.
+        """
         request = envelope.request
         now = self.sim.now
         local_match = match_request(
             request, self.service_info(), self._evaluator, self._catalogue, now
         )
+        ttl = self._resilience.registry_ttl
         neighbour_matches: Dict[Endpoint, MatchResult] = {}
         for neighbour in self.neighbours():
-            info = self._registry.get(neighbour.endpoint)
-            if info is not None:
-                neighbour_matches[neighbour.endpoint] = match_request(
-                    request, info, self._evaluator, self._catalogue, now
-                )
+            ep = neighbour.endpoint
+            if ep in exclude:
+                continue
+            info = self._registry.get(ep)
+            if info is None:
+                continue
+            if ttl is not None and now - self._registry_time.get(ep, now) > ttl:
+                # Advert went stale — the neighbour is presumed crashed.
+                del self._registry[ep]
+                self._registry_time.pop(ep, None)
+                self._stats.registry_expired += 1
+                continue
+            neighbour_matches[ep] = match_request(
+                request, info, self._evaluator, self._catalogue, now
+            )
         parent_ep = self._parent.endpoint if self._parent is not None else None
         outcome = discover(
             local_match, neighbour_matches, parent_ep, hops, self._discovery_config
@@ -280,52 +385,108 @@ class Agent:
         self._outcomes.append((envelope.request_id, outcome))
         if outcome.decision is Decision.LOCAL:
             self._submit_locally(envelope)
-        elif outcome.decision is Decision.FORWARD:
-            assert outcome.target is not None
-            self._stats.forwarded += 1
-            if outcome.target == parent_ep and outcome.reason.startswith("escalate"):
-                self._stats.escalated += 1
-            delivered = self._send_best_effort(
-                Message(
-                    MessageKind.REQUEST,
-                    self._endpoint,
-                    outcome.target,
-                    payload=envelope,
-                    hops=hops + 1,
-                )
-            )
-            if not delivered:
-                # The chosen agent is gone; absorb the request locally if
-                # possible rather than losing it (its registry entry was
-                # dropped, so the next decision will not repeat the pick).
-                if local_match.supported:
-                    self._submit_locally(envelope)
-                else:
-                    self._stats.rejected += 1
-                    self._send_result(
-                        envelope,
-                        TaskResult(
-                            request_id=envelope.request_id,
-                            application=request.application.name,
-                            success=False,
-                            submit_time=request.submit_time,
-                            deadline=request.deadline,
-                            trace=envelope.trace,
-                        ),
-                    )
-        else:
+            return
+        if outcome.decision is not Decision.FORWARD:
             self._stats.rejected += 1
-            self._send_result(
-                envelope,
-                TaskResult(
-                    request_id=envelope.request_id,
-                    application=request.application.name,
-                    success=False,
-                    submit_time=request.submit_time,
-                    deadline=request.deadline,
-                    trace=envelope.trace,
-                ),
+            self._send_result(envelope, self._failure_result(envelope))
+            return
+        assert outcome.target is not None
+        if outcome.target in exclude:
+            # Escalation is unconditional in discover(), so a retry can
+            # re-pick an already-tried parent; going around again would
+            # loop, not progress.
+            self._stats.gave_up += 1
+            self._absorb_or_fail(envelope, local_match)
+            return
+        self._stats.forwarded += 1
+        if outcome.target == parent_ep and outcome.reason.startswith("escalate"):
+            self._stats.escalated += 1
+        delivered = self._send_best_effort(
+            Message(
+                MessageKind.REQUEST,
+                self._endpoint,
+                outcome.target,
+                payload=envelope,
+                hops=hops + 1,
             )
+        )
+        if not delivered:
+            # The chosen agent is gone; absorb the request locally if
+            # possible rather than losing it (its registry entry was
+            # dropped, so the next decision will not repeat the pick).
+            self._absorb_or_fail(envelope, local_match)
+            return
+        if prev_target is not None:
+            self._stats.reroutes += 1
+        if self._resilience.enabled:
+            request_id = envelope.request_id
+            handle = self.sim.schedule_in(
+                self._resilience.timeout_for(attempt),
+                lambda: self._on_ack_timeout(request_id),
+                priority=Priority.MONITORING,
+                label=f"ack-timeout-{self._name}-{request_id}",
+            )
+            self._pending_acks[request_id] = _PendingForward(
+                envelope=envelope,
+                hops=hops,
+                target=outcome.target,
+                attempt=attempt,
+                tried=exclude | {outcome.target},
+                handle=handle,
+            )
+
+    def _on_ack_timeout(self, request_id: int) -> None:
+        """A forwarded REQUEST went unacknowledged: retry or give up."""
+        pending = self._pending_acks.pop(request_id, None)
+        if pending is None or not self._active:
+            return
+        # The silent target is presumed dead or partitioned; forget its
+        # advertised record so matchmaking stops preferring it.
+        self._registry.pop(pending.target, None)
+        self._registry_time.pop(pending.target, None)
+        next_attempt = pending.attempt + 1
+        if next_attempt > self._resilience.max_retries:
+            self._stats.gave_up += 1
+            self._absorb_or_fail(pending.envelope)
+            return
+        self._stats.retries += 1
+        self._route(
+            pending.envelope,
+            pending.hops,
+            exclude=pending.tried,
+            attempt=next_attempt,
+            prev_target=pending.target,
+        )
+
+    def _absorb_or_fail(
+        self, envelope: RequestEnvelope, local_match: Optional[MatchResult] = None
+    ) -> None:
+        """Last resort when forwarding is off the table: run the request
+        here if this resource supports it, otherwise reject it."""
+        if local_match is None:
+            local_match = match_request(
+                envelope.request,
+                self.service_info(),
+                self._evaluator,
+                self._catalogue,
+                self.sim.now,
+            )
+        if local_match.supported:
+            self._submit_locally(envelope)
+            return
+        self._stats.rejected += 1
+        self._send_result(envelope, self._failure_result(envelope))
+
+    def _failure_result(self, envelope: RequestEnvelope) -> TaskResult:
+        request = envelope.request
+        return TaskResult(
+            request_id=envelope.request_id,
+            application=request.application.name,
+            success=False,
+            submit_time=request.submit_time,
+            deadline=request.deadline,
+            trace=envelope.trace,
+        )
 
     @property
     def _evaluator(self):
@@ -343,7 +504,33 @@ class Agent:
             envelope = message.payload
             if not isinstance(envelope, RequestEnvelope):
                 raise AgentError(f"bad REQUEST payload: {type(envelope).__name__}")
+            if self._resilience.enabled:
+                key = (message.sender, envelope.request_id, message.hops)
+                duplicate = key in self._seen_forwards
+                self._seen_forwards.add(key)
+                # Acknowledge even duplicates: a retransmission means the
+                # sender never saw the first ACK.
+                self._stats.acks_sent += 1
+                self._send_best_effort(
+                    Message(
+                        MessageKind.ACK,
+                        self._endpoint,
+                        message.sender,
+                        payload=envelope.request_id,
+                    )
+                )
+                if duplicate:
+                    self._stats.duplicates_ignored += 1
+                    return
             self._process_request(envelope, hops=message.hops)
+        elif message.kind is MessageKind.ACK:
+            self._stats.acks_received += 1
+            pending = self._pending_acks.get(message.payload)
+            # Ignore a late ACK from a prior attempt's target: the pending
+            # entry now belongs to the re-routed forward.
+            if pending is not None and pending.target == message.sender:
+                pending.handle.cancel()
+                del self._pending_acks[message.payload]
         elif message.kind is MessageKind.PULL:
             self._stats.pulls_answered += 1
             self._transport.send(
@@ -360,6 +547,7 @@ class Agent:
                 raise AgentError(f"bad ADVERTISE payload: {type(info).__name__}")
             self._stats.advertisements_received += 1
             self._registry[message.sender] = info
+            self._registry_time[message.sender] = self.sim.now
         else:
             raise AgentError(
                 f"agent {self._name!r} cannot handle {message.kind.value!r}"

@@ -13,17 +13,44 @@ result e-mails).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.agents.agent import Agent, RequestEnvelope, TaskResult
-from repro.errors import AgentError
+from repro.agents.resilience import ResilienceConfig
+from repro.errors import AgentError, TransportError
 from repro.net.message import Endpoint, Message, MessageKind
 from repro.net.transport import Transport
 from repro.net.xmlio import request_to_xml
 from repro.pace.application import ApplicationModel
+from repro.sim.events import EventHandle, Priority
 from repro.tasks.task import Environment, TaskRequest
 
-__all__ = ["UserPortal"]
+__all__ = ["UserPortal", "PortalStats"]
+
+
+@dataclass
+class PortalStats:
+    """Counters for the portal's submission activity.
+
+    All resilience counters stay zero when the resilience layer is
+    disabled (the default).
+    """
+
+    acks_received: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    duplicate_results: int = 0
+    submit_failures: int = 0
+
+
+@dataclass
+class _PendingSubmit:
+    """One submitted request awaiting its entry agent's ACK."""
+
+    target: Endpoint
+    attempt: int
+    handle: EventHandle
 
 
 class UserPortal:
@@ -48,14 +75,18 @@ class UserPortal:
         *,
         endpoint: Endpoint = Endpoint("portal.grid", 8000),
         email: str = "user@portal.grid",
+        resilience: ResilienceConfig = ResilienceConfig(),
     ) -> None:
         self._transport = transport
         self._sim = sim
         self._endpoint = endpoint
         self._email = email
+        self._resilience = resilience
         self._next_request_id = 0
         self._submitted: Dict[int, RequestEnvelope] = {}
         self._results: Dict[int, TaskResult] = {}
+        self._pending: Dict[int, _PendingSubmit] = {}
+        self._stats = PortalStats()
         transport.register(endpoint, self._handle_message)
 
     # ------------------------------------------------------------------ state
@@ -79,6 +110,21 @@ class UserPortal:
     def pending_count(self) -> int:
         """Requests still awaiting a result."""
         return len(self._submitted) - len(self._results)
+
+    @property
+    def stats(self) -> PortalStats:
+        """Submission/resilience counters."""
+        return self._stats
+
+    @property
+    def resilience(self) -> ResilienceConfig:
+        """The resilience policy this portal runs."""
+        return self._resilience
+
+    @property
+    def pending_ack_count(self) -> int:
+        """Submitted requests still awaiting their entry agent's ACK."""
+        return len(self._pending)
 
     def result(self, request_id: int) -> Optional[TaskResult]:
         """The result for *request_id*, or ``None`` if still pending."""
@@ -131,15 +177,85 @@ class UserPortal:
             request_id=request_id, request=request, reply_to=self._endpoint
         )
         self._submitted[request_id] = envelope
-        self._transport.send(
-            Message(
-                MessageKind.REQUEST,
-                self._endpoint,
-                target.endpoint,
-                payload=envelope,
-            )
-        )
+        self._dispatch(request_id, target.endpoint, attempt=0)
         return request_id
+
+    def _dispatch(self, request_id: int, target: Endpoint, attempt: int) -> None:
+        """Send (or re-send) a submitted request to its entry agent.
+
+        With resilience disabled this is a plain send and a dead entry
+        agent raises :class:`TransportError` to the caller, exactly as
+        before.  With resilience enabled, send failures and missing ACKs
+        both feed the retry machinery, and an exhausted request resolves
+        to a synthetic failure result instead of hanging forever.
+        """
+        envelope = self._submitted[request_id]
+        message = Message(
+            MessageKind.REQUEST, self._endpoint, target, payload=envelope
+        )
+        if not self._resilience.enabled:
+            self._transport.send(message)
+            return
+        try:
+            self._transport.send(message)
+        except TransportError:
+            # Entry agent crashed: wait out a backoff (it may restart)
+            # before trying again.
+            self._stats.submit_failures += 1
+            self._retry_or_fail(
+                request_id, target, attempt,
+                delay=self._resilience.timeout_for(attempt),
+            )
+            return
+        handle = self._sim.schedule_in(
+            self._resilience.timeout_for(attempt),
+            lambda: self._on_ack_timeout(request_id),
+            priority=Priority.MONITORING,
+            label=f"portal-ack-{request_id}",
+        )
+        self._pending[request_id] = _PendingSubmit(target, attempt, handle)
+
+    def _on_ack_timeout(self, request_id: int) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is None or request_id in self._results:
+            return
+        self._retry_or_fail(request_id, pending.target, pending.attempt, delay=0.0)
+
+    def _retry_or_fail(
+        self, request_id: int, target: Endpoint, attempt: int, delay: float
+    ) -> None:
+        next_attempt = attempt + 1
+        if next_attempt > self._resilience.max_retries:
+            self._stats.gave_up += 1
+            self._record_result(self._failure_result(request_id))
+            return
+        self._stats.retries += 1
+        if delay > 0:
+            self._sim.schedule_in(
+                delay,
+                lambda: self._redispatch(request_id, target, next_attempt),
+                priority=Priority.MONITORING,
+                label=f"portal-redispatch-{request_id}",
+            )
+        else:
+            self._dispatch(request_id, target, next_attempt)
+
+    def _redispatch(self, request_id: int, target: Endpoint, attempt: int) -> None:
+        if request_id in self._results:
+            return  # resolved while the backoff timer ran
+        self._dispatch(request_id, target, attempt)
+
+    def _failure_result(self, request_id: int) -> TaskResult:
+        envelope = self._submitted[request_id]
+        request = envelope.request
+        return TaskResult(
+            request_id=request_id,
+            application=request.application.name,
+            success=False,
+            submit_time=request.submit_time,
+            deadline=request.deadline,
+            trace=envelope.trace,
+        )
 
     def request_document(self, request_id: int) -> str:
         """The Fig. 6 XML document for a submitted request (for tracing)."""
@@ -160,6 +276,14 @@ class UserPortal:
     # --------------------------------------------------------------- messages
 
     def _handle_message(self, message: Message) -> None:
+        if message.kind is MessageKind.ACK:
+            self._stats.acks_received += 1
+            pending = self._pending.get(message.payload)
+            # Ignore a late ACK from a prior attempt's target.
+            if pending is not None and pending.target == message.sender:
+                pending.handle.cancel()
+                del self._pending[message.payload]
+            return
         if message.kind is not MessageKind.RESULT:
             raise AgentError(
                 f"portal cannot handle {message.kind.value!r} messages"
@@ -169,4 +293,19 @@ class UserPortal:
             raise AgentError(f"bad RESULT payload: {type(result).__name__}")
         if result.request_id not in self._submitted:
             raise AgentError(f"result for unknown request {result.request_id}")
-        self._results[result.request_id] = result
+        self._record_result(result)
+
+    def _record_result(self, result: TaskResult) -> None:
+        pending = self._pending.pop(result.request_id, None)
+        if pending is not None:
+            pending.handle.cancel()
+        existing = self._results.get(result.request_id)
+        if existing is None:
+            self._results[result.request_id] = result
+            return
+        # At-least-once delivery means a request can execute (or resolve)
+        # twice; keep the first result, but let a real success overwrite a
+        # synthetic/routing failure.
+        self._stats.duplicate_results += 1
+        if not existing.success and result.success:
+            self._results[result.request_id] = result

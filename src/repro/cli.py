@@ -75,6 +75,33 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--charts", action="store_true", help="draw ASCII curves")
     add_jobs(figures)
 
+    exp4 = sub.add_parser(
+        "experiment4",
+        help="degradation study: case-study workload under loss/churn/jitter",
+    )
+    exp4.add_argument("--requests", type=int, default=600)
+    exp4.add_argument("--seed", type=int, default=2003)
+    exp4.add_argument("--loss", type=float, nargs="+",
+                      default=[0.0, 0.05, 0.1, 0.2], metavar="P",
+                      help="per-message drop probabilities to sweep")
+    exp4.add_argument("--churn", type=float, nargs="+", default=[0.0, 0.25],
+                      metavar="R",
+                      help="fractions of (non-head) agents crashed once")
+    exp4.add_argument("--jitter", type=float, default=0.0, metavar="SECONDS",
+                      help="max uniform extra latency per message")
+    exp4.add_argument("--no-retry", action="store_true",
+                      help="run only the fire-and-forget ablation "
+                      "(default: resilient protocol plus the ablation)")
+    exp4.add_argument("--fault-plan", metavar="PATH",
+                      help="JSON FaultPlanSpec replacing the --loss sweep "
+                      "(link faults, partitions, ...)")
+    exp4.add_argument("--json", metavar="PATH",
+                      help="also write the degradation grid as JSON")
+    exp4.add_argument("--check", action="store_true",
+                      help="exit non-zero unless the robustness invariants "
+                      "hold (full completion at zero faults; retries under "
+                      "loss; resilient >= ablation everywhere)")
+
     perf = sub.add_parser(
         "perf", help="run the performance benchmark suite, write BENCH_PERF.json"
     )
@@ -204,6 +231,78 @@ def _cmd_figures(requests: int, seed: int, charts: bool, jobs: int = 1) -> None:
             print()
 
 
+def _cmd_experiment4(args) -> int:
+    from dataclasses import asdict
+    import json as json_module
+
+    from repro.experiments.experiment4 import run_experiment4
+    from repro.metrics.reporting import render_experiment4
+    from repro.net.faults import FaultPlanSpec
+
+    fault_spec = None
+    if args.fault_plan:
+        with open(args.fault_plan, encoding="utf-8") as handle:
+            fault_spec = FaultPlanSpec.from_json(handle.read())
+    common = dict(
+        request_count=args.requests,
+        master_seed=args.seed,
+        loss_rates=tuple(args.loss),
+        churn_rates=tuple(args.churn),
+        jitter=args.jitter,
+        fault_spec=fault_spec,
+    )
+    print(f"Running experiment 4 ({args.requests} requests, seed {args.seed}, "
+          f"loss {args.loss}, churn {args.churn})...", file=sys.stderr)
+    ablation = run_experiment4(resilient=False, **common)
+    result = None
+    if not args.no_retry:
+        result = run_experiment4(resilient=True, **common)
+        print(render_experiment4(result, ablation))
+    else:
+        print(render_experiment4(ablation))
+    if args.json:
+        payload = {
+            "request_count": args.requests,
+            "master_seed": args.seed,
+            "ablation": [asdict(p) for p in ablation.points],
+            "resilient": [asdict(p) for p in result.points] if result else None,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if not args.check:
+        return 0
+    failures = []
+    checked = result if result is not None else ablation
+    for p in checked.points:
+        if p.loss_rate == 0.0 and p.churn_rate == 0.0 and p.completion_rate < 1.0:
+            failures.append(
+                f"zero-fault point completed only {p.succeeded}/{p.submitted}"
+            )
+    if result is not None:
+        lossy = [p for p in result.points if p.loss_rate > 0]
+        if lossy and not any(p.counters.retries > 0 for p in lossy):
+            failures.append("no retries observed under message loss")
+        for p in result.points:
+            a = ablation.point(p.loss_rate, p.churn_rate)
+            if p.succeeded < a.succeeded:
+                failures.append(
+                    f"resilient completed {p.succeeded} < ablation {a.succeeded} "
+                    f"at loss={p.loss_rate}, churn={p.churn_rate}"
+                )
+        worst, worst_abl = result.worst_point, ablation.worst_point
+        if worst.fault_dropped > 0 and worst.succeeded <= worst_abl.succeeded:
+            failures.append(
+                "resilient protocol not strictly better at the worst point "
+                f"({worst.succeeded} vs {worst_abl.succeeded})"
+            )
+    for failure in failures:
+        print(f"  FAIL  {failure}")
+    if not failures:
+        print("  PASS  all robustness invariants hold")
+    return 1 if failures else 0
+
+
 def _cmd_workload(requests: int, seed: int, head: int) -> None:
     from repro.experiments.casestudy import case_study_topology
 
@@ -257,6 +356,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args.requests, args.seeds, args.jobs)
     elif args.command == "figures":
         _cmd_figures(args.requests, args.seed, args.charts, args.jobs)
+    elif args.command == "experiment4":
+        return _cmd_experiment4(args)
     elif args.command == "perf":
         from repro.perf import run_perf_cli
 

@@ -23,6 +23,15 @@ from repro.experiments.export import (
     results_to_json,
     table3_to_csv,
 )
+from repro.experiments.experiment4 import (
+    DegradedRun,
+    Experiment4Point,
+    Experiment4Result,
+    degradation_config,
+    experiment4_base_config,
+    run_degraded,
+    run_experiment4,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     GridSystem,
@@ -61,6 +70,13 @@ __all__ = [
     "result_to_dict",
     "results_to_json",
     "table3_to_csv",
+    "DegradedRun",
+    "Experiment4Point",
+    "Experiment4Result",
+    "degradation_config",
+    "experiment4_base_config",
+    "run_degraded",
+    "run_experiment4",
     "ExperimentResult",
     "GridSystem",
     "build_grid",

@@ -19,10 +19,12 @@ explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List
+from typing import List, Optional
 
 from repro.agents.discovery import DiscoveryConfig
+from repro.agents.resilience import ResilienceConfig
 from repro.errors import ExperimentError
+from repro.net.faults import ChurnSpec, FaultPlanSpec
 from repro.scheduling.ga import GAConfig
 from repro.scheduling.scheduler import SchedulingPolicy
 
@@ -55,6 +57,11 @@ class ExperimentConfig:
     advertisement: str = "pull"  # "pull" | "push" | "none"
     monitor_poll_interval: float = 300.0
     freetime_mode: str = "makespan"  # "makespan" (paper) | "mean" | "min"
+    # Robustness layer (Experiment 4).  All three default to "off" and the
+    # defaults are property-tested byte-identical to the seed behaviour.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    faults: Optional[FaultPlanSpec] = None
+    churn: Optional[ChurnSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:

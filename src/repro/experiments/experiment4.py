@@ -1,0 +1,422 @@
+"""Experiment 4 — graceful degradation under injected faults.
+
+The paper's three experiments assume a benign LAN.  Experiment 4 (our
+robustness extension) re-runs the §4.1 case-study workload on the same
+12-agent grid while the fault fabric (:mod:`repro.net.faults`) injects
+message loss, latency jitter, and agent churn, across a grid of
+``loss rate × churn rate`` operating points.  Each point reports the
+request **completion rate**, the **deadline-met rate**, the §3.3
+balancing metrics, and the resilience layer's counters (retries,
+reroutes, give-ups), for either the resilient protocol
+(ACK + retry + registry TTL) or the paper's fire-and-forget baseline
+(``resilient=False`` — the no-retry ablation).
+
+The strict :func:`~repro.experiments.runner.run_experiment` loop raises
+when the event queue drains with requests pending, which is precisely
+what message loss produces; :func:`run_degraded` is the horizon-based
+counterpart that tolerates unresolved requests and reports them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError, TransportError
+from repro.experiments.casestudy import GridTopology, case_study_topology
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    MAX_EVENTS,
+    ExperimentResult,
+    GridSystem,
+    build_grid,
+)
+from repro.experiments.workload import WorkloadItem, generate_workload
+from repro.metrics.balancing import compute_metrics
+from repro.metrics.records import (
+    CompletionRecord,
+    ResilienceCounters,
+    records_from_tasks,
+)
+from repro.net.faults import ChurnSchedule, ChurnSpec, FaultPlanSpec
+from repro.agents.resilience import ResilienceConfig
+from repro.pace.workloads import paper_application_specs
+from repro.scheduling.scheduler import SchedulingPolicy
+from repro.sim.events import Priority
+from repro.tasks.task import Environment
+from repro.utils.rng import RngRegistry
+
+__all__ = [
+    "DEFAULT_LOSS_RATES",
+    "DEFAULT_CHURN_RATES",
+    "DegradedRun",
+    "Experiment4Point",
+    "Experiment4Result",
+    "degradation_config",
+    "experiment4_base_config",
+    "run_degraded",
+    "run_experiment4",
+]
+
+#: The default degradation grid: loss rates per message ...
+DEFAULT_LOSS_RATES: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2)
+#: ... crossed with the fraction of (non-head) agents that crash once.
+DEFAULT_CHURN_RATES: Tuple[float, ...] = (0.0, 0.25)
+
+
+def experiment4_base_config(
+    *, master_seed: int = 2003, request_count: int = 600
+) -> ExperimentConfig:
+    """Experiment 3's configuration (GA + agents), the substrate faults act on."""
+    return ExperimentConfig(
+        name="experiment-4",
+        policy=SchedulingPolicy.GA,
+        agents_enabled=True,
+        master_seed=master_seed,
+        request_count=request_count,
+    )
+
+
+def degradation_config(
+    base: ExperimentConfig,
+    *,
+    loss: float = 0.0,
+    churn_rate: float = 0.0,
+    jitter: float = 0.0,
+    resilient: bool = True,
+    fault_spec: Optional[FaultPlanSpec] = None,
+    churn_spec: Optional[ChurnSpec] = None,
+) -> ExperimentConfig:
+    """One operating point's configuration.
+
+    ``fault_spec``/``churn_spec`` override the simple ``loss``/``jitter``/
+    ``churn_rate`` knobs when a richer plan (link faults, partitions,
+    custom downtime) is wanted.  ``resilient=False`` keeps the paper's
+    fire-and-forget protocol — the ablation every resilient point is
+    measured against.
+    """
+    faults = (
+        fault_spec
+        if fault_spec is not None
+        else FaultPlanSpec(drop_probability=loss, latency_jitter=jitter)
+    )
+    churn = churn_spec
+    if churn is None and churn_rate > 0:
+        churn = ChurnSpec(rate=churn_rate)
+    if resilient:
+        # The registry TTL tracks the advertisement cadence: a crashed
+        # neighbour stops attracting forwards three missed pulls after its
+        # last advert.
+        resilience = ResilienceConfig(
+            enabled=True, registry_ttl=3.0 * base.pull_interval
+        )
+    else:
+        resilience = ResilienceConfig()
+    mode = "resilient" if resilient else "no-retry"
+    return replace(
+        base,
+        name=f"{base.name}-loss{faults.drop_probability:g}"
+        f"-churn{(churn.rate if churn else 0.0):g}-{mode}",
+        faults=faults,
+        churn=churn,
+        resilience=resilience,
+    )
+
+
+@dataclass
+class DegradedRun:
+    """Everything one degraded run produced."""
+
+    result: ExperimentResult
+    submitted: int
+    succeeded: int
+    failed: int
+    unresolved: int
+    deadline_met: int
+    counters: ResilienceCounters
+    crashes: int
+    restarts: int
+    fault_dropped: int
+
+
+def run_degraded(
+    config: ExperimentConfig,
+    topology: Optional[GridTopology] = None,
+    *,
+    workload: Optional[List[WorkloadItem]] = None,
+) -> DegradedRun:
+    """Run *config* under its fault plan and churn schedule to a horizon.
+
+    Unlike the strict experiment loop, requests may end the run
+    unresolved (their REQUEST or RESULT was lost and nothing retried);
+    they are counted, not raised.  The run proceeds in two phases:
+
+    1. until every request resolves or the clock passes the last
+       deadline, with periodic processes and churn active;
+    2. a final drain with periodics stopped and leftover churn handles
+       cancelled, letting in-flight completions, retries, and ack
+       timeouts resolve — the queue is finite once nothing re-arms.
+    """
+    t_wall = time.perf_counter()
+    system = build_grid(config, topology)
+    items = (
+        workload
+        if workload is not None
+        else generate_workload(
+            system.topology.agent_names,
+            system.specs,
+            count=config.request_count,
+            interval=config.request_interval,
+            master_seed=config.master_seed,
+        )
+    )
+    system.start()
+    for item in items:
+        system.sim.schedule(
+            item.submit_time,
+            _tolerant_submitter(system, item),
+            priority=Priority.ARRIVAL,
+            label=f"arrival-{item.application}",
+        )
+    crashes = restarts = 0
+    churn_handles = []
+    if config.churn is not None and config.churn.rate > 0:
+        schedule = ChurnSchedule.generate(
+            system.topology.agent_names,
+            config.churn,
+            config.request_phase_seconds,
+            RngRegistry(config.master_seed).stream("churn"),
+            head=system.hierarchy.head.name,
+        )
+        crashes, restarts = schedule.crash_count, schedule.restart_count
+        for event in schedule:
+            agent = system.agents[event.agent]
+            action = agent.deactivate if event.action == "crash" else agent.reactivate
+            churn_handles.append(
+                system.sim.schedule(
+                    event.time,
+                    action,
+                    priority=Priority.MONITORING,
+                    label=f"churn-{event.action}-{event.agent}",
+                )
+            )
+    horizon = max(item.deadline for item in items)
+    steps = 0
+
+    def resolved() -> bool:
+        return (
+            system.portal.submitted_count >= len(items)
+            and system.portal.pending_count == 0
+        )
+
+    while not resolved():
+        next_time = system.sim.next_event_time()
+        if next_time is None or next_time > horizon:
+            break
+        system.sim.step()
+        steps += 1
+        if steps > MAX_EVENTS:
+            raise ExperimentError(f"experiment exceeded {MAX_EVENTS} events")
+    for handle in churn_handles:
+        handle.cancel()
+    system.stop()
+    # Final drain: with periodics and churn off, only completions, retry
+    # timers, and in-flight messages remain — a finite queue.
+    while not resolved():
+        if not system.sim.step():
+            break
+        steps += 1
+        if steps > MAX_EVENTS:
+            raise ExperimentError(f"experiment exceeded {MAX_EVENTS} events")
+
+    records: List[CompletionRecord] = []
+    busy = {}
+    nodes = {}
+    for name, scheduler in system.schedulers.items():
+        records.extend(records_from_tasks(scheduler.executor.completed_tasks))
+        busy[name] = scheduler.executor.busy_intervals
+        nodes[name] = scheduler.resource.size
+    metrics = compute_metrics(records, busy, nodes, horizon=max(system.sim.now, 1e-9))
+    result = ExperimentResult(
+        config=config,
+        metrics=metrics,
+        records=records,
+        workload=items,
+        agent_stats={name: agent.stats for name, agent in system.agents.items()},
+        cache_stats=system.evaluator.cache.stats,
+        messages_sent=system.transport.sent,
+        rejected_count=len(system.portal.failures()),
+        wall_seconds=time.perf_counter() - t_wall,
+        messages_delivered=system.transport.delivered,
+    )
+    successes = system.portal.successes()
+    counters = ResilienceCounters.from_stats(
+        [agent.stats for agent in system.agents.values()] + [system.portal.stats]
+    )
+    plan = system.transport.fault_plan
+    return DegradedRun(
+        result=result,
+        submitted=system.portal.submitted_count,
+        succeeded=len(successes),
+        failed=len(system.portal.failures()),
+        unresolved=system.portal.pending_count,
+        deadline_met=sum(
+            1
+            for r in successes
+            if r.completion_time is not None and r.completion_time <= r.deadline
+        ),
+        counters=counters,
+        crashes=crashes,
+        restarts=restarts,
+        fault_dropped=plan.dropped_count if plan is not None else 0,
+    )
+
+
+def _tolerant_submitter(system: GridSystem, item: WorkloadItem):
+    """Like the strict runner's submitter, but a crashed entry agent does
+    not abort the run: the request registers, the send is lost, and the
+    request counts as unresolved unless the portal's own retry machinery
+    (when enabled) recovers it."""
+
+    def submit() -> None:
+        try:
+            system.portal.submit(
+                system.agents[item.agent_name],
+                system.specs[item.application].model,
+                Environment.TEST,
+                item.deadline,
+            )
+        except TransportError:
+            pass
+    return submit
+
+
+@dataclass(frozen=True)
+class Experiment4Point:
+    """One operating point of the degradation grid."""
+
+    loss_rate: float
+    churn_rate: float
+    submitted: int
+    succeeded: int
+    failed: int
+    unresolved: int
+    deadline_met: int
+    epsilon: float
+    beta_percent: float
+    counters: ResilienceCounters
+    crashes: int
+    restarts: int
+    fault_dropped: int
+    messages_sent: int
+    messages_delivered: int
+    wall_seconds: float
+
+    @property
+    def completion_rate(self) -> float:
+        """Requests that produced a successful result / requests submitted."""
+        return self.succeeded / self.submitted if self.submitted else 0.0
+
+    @property
+    def deadline_met_rate(self) -> float:
+        """Requests completed by their deadline / requests submitted."""
+        return self.deadline_met / self.submitted if self.submitted else 0.0
+
+
+@dataclass
+class Experiment4Result:
+    """The full degradation study: one point per (loss, churn) pair."""
+
+    resilient: bool
+    request_count: int
+    master_seed: int
+    points: List[Experiment4Point]
+
+    def point(self, loss_rate: float, churn_rate: float) -> Experiment4Point:
+        """The point at exactly (*loss_rate*, *churn_rate*)."""
+        for p in self.points:
+            if p.loss_rate == loss_rate and p.churn_rate == churn_rate:
+                return p
+        raise ExperimentError(
+            f"no point at loss={loss_rate}, churn={churn_rate}"
+        )
+
+    @property
+    def worst_point(self) -> Experiment4Point:
+        """The highest-stress point (max loss, then max churn)."""
+        return max(self.points, key=lambda p: (p.loss_rate, p.churn_rate))
+
+
+def run_experiment4(
+    *,
+    request_count: int = 600,
+    master_seed: int = 2003,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    churn_rates: Sequence[float] = DEFAULT_CHURN_RATES,
+    jitter: float = 0.0,
+    resilient: bool = True,
+    fault_spec: Optional[FaultPlanSpec] = None,
+    base: Optional[ExperimentConfig] = None,
+    topology: Optional[GridTopology] = None,
+) -> Experiment4Result:
+    """Run the degradation grid and collect one point per fault level.
+
+    All points replay the identical seeded workload (generated once), so
+    differences between points are attributable to the injected faults
+    alone.  With ``fault_spec`` given, the loss grid is replaced by that
+    single plan (crossed with ``churn_rates`` as usual).
+    """
+    cfg = base if base is not None else experiment4_base_config(
+        master_seed=master_seed, request_count=request_count
+    )
+    topo = topology if topology is not None else case_study_topology()
+    workload = generate_workload(
+        topo.agent_names,
+        paper_application_specs(),
+        count=cfg.request_count,
+        interval=cfg.request_interval,
+        master_seed=cfg.master_seed,
+    )
+    losses: Sequence[Optional[float]] = (
+        [None] if fault_spec is not None else list(loss_rates)
+    )
+    points: List[Experiment4Point] = []
+    for churn_rate in churn_rates:
+        for loss in losses:
+            point_config = degradation_config(
+                cfg,
+                loss=loss if loss is not None else 0.0,
+                churn_rate=churn_rate,
+                jitter=jitter,
+                resilient=resilient,
+                fault_spec=fault_spec,
+            )
+            run = run_degraded(point_config, topo, workload=workload)
+            assert point_config.faults is not None
+            points.append(
+                Experiment4Point(
+                    loss_rate=point_config.faults.drop_probability,
+                    churn_rate=churn_rate,
+                    submitted=run.submitted,
+                    succeeded=run.succeeded,
+                    failed=run.failed,
+                    unresolved=run.unresolved,
+                    deadline_met=run.deadline_met,
+                    epsilon=run.result.metrics.total.epsilon,
+                    beta_percent=run.result.metrics.total.beta_percent,
+                    counters=run.counters,
+                    crashes=run.crashes,
+                    restarts=run.restarts,
+                    fault_dropped=run.fault_dropped,
+                    messages_sent=run.result.messages_sent,
+                    messages_delivered=run.result.messages_delivered,
+                    wall_seconds=run.result.wall_seconds,
+                )
+            )
+    return Experiment4Result(
+        resilient=resilient,
+        request_count=cfg.request_count,
+        master_seed=cfg.master_seed,
+        points=points,
+    )

@@ -29,6 +29,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.workload import WorkloadItem, generate_workload
 from repro.metrics.balancing import GridMetrics, compute_metrics
 from repro.metrics.records import CompletionRecord, records_from_tasks
+from repro.net.faults import PORTAL_NAME, FaultPlan
 from repro.net.message import Endpoint
 from repro.net.transport import Transport
 from repro.pace.cache import CacheStats
@@ -90,6 +91,7 @@ class ExperimentResult:
     messages_sent: int
     rejected_count: int
     wall_seconds: float
+    messages_delivered: int = 0
 
     @property
     def horizon(self) -> float:
@@ -145,9 +147,22 @@ def build_grid(
             catalogue=topo.catalogue,
             discovery_config=config.discovery,
             advertisement=_advertisement(config),
+            resilience=config.resilience,
         )
     hierarchy = wire_hierarchy(agents, dict(topo.parent_of))
-    portal = UserPortal(transport, sim)
+    portal = UserPortal(transport, sim, resilience=config.resilience)
+    if config.faults is not None:
+        endpoints = {name: agent.endpoint for name, agent in agents.items()}
+        endpoints[PORTAL_NAME] = portal.endpoint
+        # The plan's stream exists even for a zero plan (creating it never
+        # touches the other streams); draws happen only when they matter.
+        transport.set_fault_plan(
+            FaultPlan(
+                config.faults,
+                rng=rngs.stream("fault-injection"),
+                endpoints=endpoints,
+            )
+        )
     return GridSystem(
         config=config,
         topology=topo,
@@ -233,6 +248,7 @@ def run_experiment(
         messages_sent=system.transport.sent,
         rejected_count=len(system.portal.failures()),
         wall_seconds=time.perf_counter() - t_wall,
+        messages_delivered=system.transport.delivered,
     )
 
 

@@ -8,13 +8,13 @@ task execution."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, fields
+from typing import Iterable, List, Tuple
 
 from repro.errors import ValidationError
 from repro.tasks.task import Task, TaskState
 
-__all__ = ["CompletionRecord", "records_from_tasks"]
+__all__ = ["CompletionRecord", "ResilienceCounters", "records_from_tasks"]
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,48 @@ class CompletionRecord:
             completion=task.completion_time,
             deadline=task.deadline,
             submit_time=task.request.submit_time,
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceCounters:
+    """Grid-wide totals of the resilience layer's activity (Experiment 4).
+
+    All counters stay zero in a fault-free, resilience-off run — the seed
+    configurations report an all-zero instance.
+    """
+
+    acks_sent: int = 0
+    acks_received: int = 0
+    retries: int = 0
+    reroutes: int = 0
+    gave_up: int = 0
+    duplicates_ignored: int = 0
+    registry_expired: int = 0
+    duplicate_results: int = 0
+    submit_failures: int = 0
+    send_failures: int = 0
+
+    @classmethod
+    def from_stats(cls, stats: Iterable[object]) -> "ResilienceCounters":
+        """Sum matching counters across stats objects, duck-typed.
+
+        Accepts any mix of ``AgentStats`` and ``PortalStats`` (or anything
+        else exposing a subset of this class's integer fields); absent
+        attributes contribute zero.
+        """
+        totals = {f.name: 0 for f in fields(cls)}
+        for s in stats:
+            for name in totals:
+                totals[name] += int(getattr(s, name, 0))
+        return cls(**totals)
+
+    def __add__(self, other: "ResilienceCounters") -> "ResilienceCounters":
+        return ResilienceCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
         )
 
 

@@ -7,17 +7,22 @@ experiments, one series per agent plus the total.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
 from repro.metrics.balancing import GridMetrics
 from repro.utils.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - layering: metrics never imports
+    # experiments at runtime; the renderer duck-types its input.
+    from repro.experiments.experiment4 import Experiment4Result
 
 __all__ = [
     "table3_rows",
     "render_table3",
     "figure_series",
     "render_figure_series",
+    "render_experiment4",
 ]
 
 
@@ -76,6 +81,49 @@ def figure_series(
     for name, cells in rows:
         series[name] = [cells[3 * i + offset] for i in range(len(results))]
     return series
+
+
+def render_experiment4(
+    result: "Experiment4Result",
+    ablation: Optional["Experiment4Result"] = None,
+    *,
+    title: str = "Experiment 4: degradation under injected faults",
+) -> str:
+    """Monospace rendering of the degradation grid.
+
+    One row per (loss, churn) operating point; when *ablation* (the
+    no-retry run of the same grid) is given, its completion rate appears
+    alongside for direct comparison.
+    """
+    if not result.points:
+        raise ValidationError("experiment-4 result has no points")
+    headers = [
+        "loss", "churn", "completed", "met deadline", "unresolved",
+        "retries", "reroutes", "gave up", "crashes", "ε (s)", "β (%)",
+    ]
+    if ablation is not None:
+        headers.append("no-retry completed")
+    data: List[List[object]] = []
+    for p in result.points:
+        row: List[object] = [
+            f"{p.loss_rate:.0%}",
+            f"{p.churn_rate:.0%}",
+            f"{p.succeeded}/{p.submitted} ({p.completion_rate:.0%})",
+            f"{p.deadline_met_rate:.0%}",
+            p.unresolved,
+            p.counters.retries,
+            p.counters.reroutes,
+            p.counters.gave_up,
+            p.crashes,
+            round(p.epsilon) if p.epsilon == p.epsilon else None,
+            round(p.beta_percent) if p.beta_percent == p.beta_percent else None,
+        ]
+        if ablation is not None:
+            a = ablation.point(p.loss_rate, p.churn_rate)
+            row.append(f"{a.succeeded}/{a.submitted} ({a.completion_rate:.0%})")
+        data.append(row)
+    mode = "resilient protocol" if result.resilient else "no-retry baseline"
+    return render_table(headers, data, title=f"{title} — {mode}")
 
 
 def render_figure_series(

@@ -1,5 +1,14 @@
 """Communication substrate: typed messages, XML templates, in-memory transport."""
 
+from repro.net.faults import (
+    ChurnEvent,
+    ChurnSchedule,
+    ChurnSpec,
+    FaultPlan,
+    FaultPlanSpec,
+    LinkFault,
+    PartitionWindow,
+)
 from repro.net.message import Endpoint, Message, MessageKind
 from repro.net.payloads import RequestEnvelope, ServiceInfo, TaskResult
 from repro.net.transport import Transport
@@ -11,6 +20,13 @@ from repro.net.xmlio import (
 )
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ChurnSpec",
+    "FaultPlan",
+    "FaultPlanSpec",
+    "LinkFault",
+    "PartitionWindow",
     "Endpoint",
     "Message",
     "MessageKind",

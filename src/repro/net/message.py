@@ -45,6 +45,7 @@ class MessageKind(enum.Enum):
     RESULT = "result"        # execution outcome returned to the submitter
     ADVERTISE = "advertise"  # service information (Fig. 5), pushed or pulled
     PULL = "pull"            # ask a neighbour for its current service info
+    ACK = "ack"              # receipt of a REQUEST (resilience layer only)
 
 
 @dataclass(frozen=True)

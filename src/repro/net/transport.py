@@ -13,17 +13,25 @@ single-threaded message loop.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import TransportError
+from repro.net.faults import FaultPlan
 from repro.net.message import Endpoint, Message
 from repro.sim.engine import Engine
 from repro.sim.events import Priority
 from repro.utils.validation import check_non_negative
 
-__all__ = ["Transport"]
+__all__ = ["Transport", "DEFAULT_DROP_RING_SIZE"]
 
 Handler = Callable[[Message], None]
+
+#: How many recently dropped messages are retained for debugging.  Drops
+#: are *counted* without bound; only the message objects are ring-buffered
+#: (a long churny run used to accumulate every dropped Message forever).
+DEFAULT_DROP_RING_SIZE = 32
 
 
 class Transport:
@@ -35,16 +43,33 @@ class Transport:
         The discrete-event engine.
     latency:
         Seconds between send and delivery (applied to every message).
+    fault_plan:
+        Optional :class:`~repro.net.faults.FaultPlan` consulted on every
+        send; ``None`` (default) is the faultless seed behaviour.
+    drop_ring_size:
+        How many recently dropped messages to retain for inspection.
     """
 
-    def __init__(self, sim: Engine, *, latency: float = 0.0) -> None:
+    def __init__(
+        self,
+        sim: Engine,
+        *,
+        latency: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        drop_ring_size: int = DEFAULT_DROP_RING_SIZE,
+    ) -> None:
         check_non_negative(latency, "latency")
+        if drop_ring_size < 1:
+            raise TransportError(f"drop_ring_size must be >= 1, got {drop_ring_size}")
         self._sim = sim
         self._latency = float(latency)
+        self._fault_plan = fault_plan
         self._handlers: Dict[Endpoint, Handler] = {}
         self._sent = 0
         self._delivered = 0
-        self._dropped: List[Message] = []
+        self._dropped_count = 0
+        self._fault_dropped_count = 0
+        self._drop_ring: Deque[Message] = deque(maxlen=drop_ring_size)
         self._taps: List[Callable[[Message], None]] = []
 
     # ------------------------------------------------------------------ state
@@ -66,8 +91,44 @@ class Transport:
 
     @property
     def dropped(self) -> List[Message]:
-        """Messages whose endpoint unregistered before delivery (copy)."""
-        return list(self._dropped)
+        """The most recent dropped messages (deprecated).
+
+        .. deprecated::
+            Dropped messages are no longer retained without bound; use
+            :attr:`dropped_count` for the total and :attr:`dropped_recent`
+            for the bounded ring of the last few messages.
+        """
+        warnings.warn(
+            "Transport.dropped returns only the bounded ring of recent drops; "
+            "use dropped_count / dropped_recent instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self._drop_ring)
+
+    @property
+    def dropped_count(self) -> int:
+        """Total messages dropped because their endpoint was unregistered."""
+        return self._dropped_count
+
+    @property
+    def fault_dropped_count(self) -> int:
+        """Total messages dropped by the installed fault plan."""
+        return self._fault_dropped_count
+
+    @property
+    def dropped_recent(self) -> List[Message]:
+        """The last few dropped messages, oldest first (bounded copy)."""
+        return list(self._drop_ring)
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The installed fault plan, if any."""
+        return self._fault_plan
+
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or clear) the fault plan consulted on every send."""
+        self._fault_plan = plan
 
     def endpoints(self) -> List[Endpoint]:
         """Registered endpoints, sorted."""
@@ -111,8 +172,18 @@ class Transport:
                 f"(message {message.kind.value} from {message.sender})"
             )
         self._sent += 1
+        extra_latency = 0.0
+        if self._fault_plan is not None:
+            verdict = self._fault_plan.on_send(message, self._sim.now)
+            if verdict.drop:
+                # Silent loss: the sender believes the send succeeded —
+                # exactly the failure mode ack timeouts exist to detect.
+                self._fault_dropped_count += 1
+                self._drop_ring.append(message)
+                return
+            extra_latency = verdict.extra_latency
         self._sim.schedule_in(
-            self._latency,
+            self._latency + extra_latency,
             lambda: self._deliver(message),
             priority=Priority.DEFAULT,
             label=f"deliver-{message.kind.value}-{message.message_id}",
@@ -121,7 +192,8 @@ class Transport:
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.recipient)
         if handler is None:
-            self._dropped.append(message)
+            self._dropped_count += 1
+            self._drop_ring.append(message)
             return
         self._delivered += 1
         for tap in self._taps:

@@ -1,0 +1,77 @@
+"""Property: the robustness layer's defaults are byte-identical to the seed.
+
+Installing a no-op :class:`FaultPlanSpec` and the default (disabled)
+:class:`ResilienceConfig` must not change a single completion record,
+metric, agent counter, or message count, for any seed: the fault plan
+draws from its RNG stream only when a draw can change the outcome, and
+the resilience machinery is fully gated on ``enabled``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.agents.resilience import ResilienceConfig
+from repro.experiments.config import table2_experiments
+from repro.experiments.runner import run_experiment
+from repro.net.faults import FaultPlanSpec
+
+SEEDS = (2003, 7)
+REQUESTS = 12
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def pair(request):
+    """The seed run and the same run with the no-op robustness layer on."""
+    baseline_cfg = table2_experiments(
+        master_seed=request.param, request_count=REQUESTS
+    )[2]
+    noop_cfg = dataclasses.replace(
+        baseline_cfg,
+        faults=FaultPlanSpec(),
+        resilience=ResilienceConfig(),
+    )
+    assert noop_cfg.faults.is_noop and not noop_cfg.resilience.enabled
+    return run_experiment(baseline_cfg), run_experiment(noop_cfg)
+
+
+class TestNoopRobustnessLayerIsByteIdentical:
+    def test_completion_records_identical(self, pair):
+        baseline, noop = pair
+        assert baseline.records == noop.records
+
+    def test_metrics_identical(self, pair):
+        baseline, noop = pair
+
+        def same(a, b):
+            # Bitwise equality, except idle resources whose ε is NaN in both.
+            ta, tb = dataclasses.astuple(a), dataclasses.astuple(b)
+            return all(x == y or (x != x and y != y) for x, y in zip(ta, tb))
+
+        assert set(baseline.metrics.per_resource) == set(noop.metrics.per_resource)
+        for name, metrics in baseline.metrics.per_resource.items():
+            assert same(metrics, noop.metrics.per_resource[name]), name
+        assert same(baseline.metrics.total, noop.metrics.total)
+        assert baseline.metrics.horizon == noop.metrics.horizon
+
+    def test_message_counts_identical(self, pair):
+        baseline, noop = pair
+        assert baseline.messages_sent == noop.messages_sent
+        assert baseline.messages_delivered == noop.messages_delivered
+
+    def test_agent_stats_identical(self, pair):
+        baseline, noop = pair
+        assert baseline.agent_stats == noop.agent_stats
+
+    def test_resilience_counters_stay_zero(self, pair):
+        _, noop = pair
+        for stats in noop.agent_stats.values():
+            assert stats.acks_sent == 0
+            assert stats.acks_received == 0
+            assert stats.retries == 0
+            assert stats.reroutes == 0
+            assert stats.gave_up == 0
+            assert stats.duplicates_ignored == 0
+            assert stats.registry_expired == 0

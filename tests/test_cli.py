@@ -85,3 +85,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 8" in out and "Figure 10" in out
         assert "legend:" in out
+
+    def test_experiment4_no_retry(self, capsys):
+        assert main([
+            "experiment4", "--requests", "12",
+            "--loss", "0.0", "--churn", "0.0", "--no-retry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment 4" in out
+        assert "no-retry baseline" in out
+
+    def test_experiment4_check_and_json(self, capsys, tmp_path):
+        json_path = tmp_path / "exp4.json"
+        assert main([
+            "experiment4", "--requests", "30",
+            "--loss", "0.0", "0.2", "--churn", "0.0",
+            "--check", "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resilient protocol" in out
+        assert "PASS" in out
+        import json as json_mod
+
+        parsed = json_mod.loads(json_path.read_text())
+        assert len(parsed["ablation"]) == 2
+        assert len(parsed["resilient"]) == 2
+
+    def test_experiment4_fault_plan_file(self, capsys, tmp_path):
+        from repro.net.faults import FaultPlanSpec, LinkFault
+
+        plan_path = tmp_path / "plan.json"
+        spec = FaultPlanSpec(link_faults=(LinkFault("S2", "S1", 1.0),))
+        plan_path.write_text(spec.to_json())
+        assert main([
+            "experiment4", "--requests", "12", "--churn", "0.0",
+            "--fault-plan", str(plan_path), "--no-retry",
+        ]) == 0
+        assert "no-retry baseline" in capsys.readouterr().out
