@@ -21,7 +21,7 @@ An agent:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.agents.advertisement import AdvertisementStrategy, NoAdvertisement
@@ -33,6 +33,16 @@ from repro.agents.service_info import ServiceInfo
 from repro.errors import AgentError, TransportError
 from repro.net.message import Endpoint, Message, MessageKind
 from repro.net.transport import Transport
+from repro.obs.records import (
+    AckSent,
+    AgentDown,
+    AgentUp,
+    DiscoveryEvaluated,
+    ForwardGiveUp,
+    ForwardRetry,
+    LocalSubmit,
+)
+from repro.obs.trace import Tracer
 from repro.pace.hardware import DEFAULT_CATALOGUE, HardwareCatalogue
 from repro.scheduling.scheduler import LocalScheduler
 from repro.sim.events import EventHandle, Priority
@@ -66,6 +76,11 @@ class AgentStats:
     gave_up: int = 0
     duplicates_ignored: int = 0
     registry_expired: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, f.default)
 
 
 @dataclass
@@ -113,10 +128,12 @@ class Agent:
         discovery_config: DiscoveryConfig = DiscoveryConfig(),
         advertisement: Optional[AdvertisementStrategy] = None,
         resilience: ResilienceConfig = ResilienceConfig(),
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not name:
             raise AgentError("agent name must be non-empty")
         self._name = name
+        self._tracer = tracer
         self._endpoint = endpoint
         self._scheduler = scheduler
         self._transport = transport
@@ -215,6 +232,15 @@ class Agent:
             result.append(self._parent)
         return result
 
+    def _peer_name(self, endpoint: Optional[Endpoint]) -> Optional[str]:
+        """A neighbour's agent name for trace records (endpoint otherwise)."""
+        if endpoint is None:
+            return None
+        for neighbour in self.neighbours():
+            if neighbour.endpoint == endpoint:
+                return neighbour.name
+        return str(endpoint)
+
     # --------------------------------------------------------------- topology
 
     def _set_parent(self, parent: Optional["Agent"]) -> None:
@@ -270,6 +296,18 @@ class Agent:
         self._pending_acks.clear()
         self._registry.clear()
         self._registry_time.clear()
+        # A restart is a new process with no memory: stale dedup keys would
+        # make a retransmitted REQUEST after reactivate() look like a
+        # duplicate — ACKed but never processed, silently losing it.
+        self._seen_forwards.clear()
+        if self._tracer is not None:
+            self._tracer.emit(
+                AgentDown(
+                    t=self.sim.now,
+                    agent=self._name,
+                    endpoint=str(self._endpoint),
+                )
+            )
 
     def reactivate(self) -> None:
         """Return a crashed agent to the grid — the inverse of
@@ -286,6 +324,17 @@ class Agent:
             return
         self._transport.register(self._endpoint, self._handle_message)
         self._active = True
+        # Emitted before start(): the strategy's immediate re-pulls must
+        # appear after the agent.up record, or a trace reader would see a
+        # "down" endpoint sending.
+        if self._tracer is not None:
+            self._tracer.emit(
+                AgentUp(
+                    t=self.sim.now,
+                    agent=self._name,
+                    endpoint=str(self._endpoint),
+                )
+            )
         self.start()
 
     def _send_best_effort(self, message: Message) -> bool:
@@ -383,6 +432,19 @@ class Agent:
             local_match, neighbour_matches, parent_ep, hops, self._discovery_config
         )
         self._outcomes.append((envelope.request_id, outcome))
+        if self._tracer is not None:
+            self._tracer.emit(
+                DiscoveryEvaluated(
+                    t=now,
+                    agent=self._name,
+                    request_id=envelope.request_id,
+                    hops=hops,
+                    decision=outcome.decision.value,
+                    target=self._peer_name(outcome.target),
+                    estimate=outcome.estimate,
+                    reason=outcome.reason,
+                )
+            )
         if outcome.decision is Decision.LOCAL:
             self._submit_locally(envelope)
             return
@@ -396,6 +458,14 @@ class Agent:
             # re-pick an already-tried parent; going around again would
             # loop, not progress.
             self._stats.gave_up += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    ForwardGiveUp(
+                        t=now,
+                        agent=self._name,
+                        request_id=envelope.request_id,
+                    )
+                )
             self._absorb_or_fail(envelope, local_match)
             return
         self._stats.forwarded += 1
@@ -447,9 +517,27 @@ class Agent:
         next_attempt = pending.attempt + 1
         if next_attempt > self._resilience.max_retries:
             self._stats.gave_up += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    ForwardGiveUp(
+                        t=self.sim.now,
+                        agent=self._name,
+                        request_id=request_id,
+                    )
+                )
             self._absorb_or_fail(pending.envelope)
             return
         self._stats.retries += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                ForwardRetry(
+                    t=self.sim.now,
+                    agent=self._name,
+                    request_id=request_id,
+                    attempt=next_attempt,
+                    target=self._peer_name(pending.target) or str(pending.target),
+                )
+            )
         self._route(
             pending.envelope,
             pending.hops,
@@ -496,6 +584,15 @@ class Agent:
         self._stats.submitted_locally += 1
         task = self._scheduler.submit(envelope.request)
         self._reply_to[task.task_id] = envelope
+        if self._tracer is not None:
+            self._tracer.emit(
+                LocalSubmit(
+                    t=self.sim.now,
+                    agent=self._name,
+                    request_id=envelope.request_id,
+                    task_id=task.task_id,
+                )
+            )
 
     # --------------------------------------------------------------- messages
 
@@ -511,6 +608,15 @@ class Agent:
                 # Acknowledge even duplicates: a retransmission means the
                 # sender never saw the first ACK.
                 self._stats.acks_sent += 1
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        AckSent(
+                            t=self.sim.now,
+                            agent=self._name,
+                            request_id=envelope.request_id,
+                            duplicate=duplicate,
+                        )
+                    )
                 self._send_best_effort(
                     Message(
                         MessageKind.ACK,

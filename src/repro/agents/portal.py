@@ -13,7 +13,7 @@ result e-mails).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional
 
 from repro.agents.agent import Agent, RequestEnvelope, TaskResult
@@ -22,6 +22,8 @@ from repro.errors import AgentError, TransportError
 from repro.net.message import Endpoint, Message, MessageKind
 from repro.net.transport import Transport
 from repro.net.xmlio import request_to_xml
+from repro.obs.records import PortalResult, PortalRetry, PortalSubmitted
+from repro.obs.trace import Tracer
 from repro.pace.application import ApplicationModel
 from repro.sim.events import EventHandle, Priority
 from repro.tasks.task import Environment, TaskRequest
@@ -42,6 +44,11 @@ class PortalStats:
     gave_up: int = 0
     duplicate_results: int = 0
     submit_failures: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, f.default)
 
 
 @dataclass
@@ -76,7 +83,9 @@ class UserPortal:
         endpoint: Endpoint = Endpoint("portal.grid", 8000),
         email: str = "user@portal.grid",
         resilience: ResilienceConfig = ResilienceConfig(),
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        self._tracer = tracer
         self._transport = transport
         self._sim = sim
         self._endpoint = endpoint
@@ -177,6 +186,16 @@ class UserPortal:
             request_id=request_id, request=request, reply_to=self._endpoint
         )
         self._submitted[request_id] = envelope
+        if self._tracer is not None:
+            self._tracer.emit(
+                PortalSubmitted(
+                    t=now,
+                    request_id=request_id,
+                    agent=request.origin,
+                    application=application.name,
+                    deadline=deadline,
+                )
+            )
         self._dispatch(request_id, target.endpoint, attempt=0)
         return request_id
 
@@ -227,9 +246,17 @@ class UserPortal:
         next_attempt = attempt + 1
         if next_attempt > self._resilience.max_retries:
             self._stats.gave_up += 1
-            self._record_result(self._failure_result(request_id))
+            self._record_result(self._failure_result(request_id), synthetic=True)
             return
         self._stats.retries += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                PortalRetry(
+                    t=self._sim.now,
+                    request_id=request_id,
+                    attempt=next_attempt,
+                )
+            )
         if delay > 0:
             self._sim.schedule_in(
                 delay,
@@ -295,13 +322,14 @@ class UserPortal:
             raise AgentError(f"result for unknown request {result.request_id}")
         self._record_result(result)
 
-    def _record_result(self, result: TaskResult) -> None:
+    def _record_result(self, result: TaskResult, *, synthetic: bool = False) -> None:
         pending = self._pending.pop(result.request_id, None)
         if pending is not None:
             pending.handle.cancel()
         existing = self._results.get(result.request_id)
         if existing is None:
             self._results[result.request_id] = result
+            self._trace_result(result, synthetic)
             return
         # At-least-once delivery means a request can execute (or resolve)
         # twice; keep the first result, but let a real success overwrite a
@@ -309,3 +337,15 @@ class UserPortal:
         self._stats.duplicate_results += 1
         if not existing.success and result.success:
             self._results[result.request_id] = result
+            self._trace_result(result, synthetic)
+
+    def _trace_result(self, result: TaskResult, synthetic: bool) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(
+                PortalResult(
+                    t=self._sim.now,
+                    request_id=result.request_id,
+                    success=result.success,
+                    synthetic=synthetic,
+                )
+            )

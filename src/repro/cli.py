@@ -116,6 +116,30 @@ def build_parser() -> argparse.ArgumentParser:
                       "substring (repeatable); the written output then holds "
                       "just that subset")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with structured tracing on and inspect "
+        "the resulting record stream",
+    )
+    trace.add_argument("--requests", type=int, default=12)
+    trace.add_argument("--seed", type=int, default=2003)
+    trace.add_argument("--experiment", type=int, choices=(1, 2, 3), default=3,
+                       help="which Table 2 configuration to trace "
+                       "(ignored when --loss/--churn select the degraded runner)")
+    trace.add_argument("--loss", type=float, default=0.0, metavar="P",
+                       help="per-message drop probability (switches to the "
+                       "resilient experiment-4 runner)")
+    trace.add_argument("--churn", type=float, default=0.0, metavar="R",
+                       help="fraction of non-head agents crashed once "
+                       "(switches to the resilient experiment-4 runner)")
+    trace.add_argument("--out", metavar="PATH",
+                       help="write the canonical JSONL trace to PATH")
+    trace.add_argument("--request", type=int, default=None, metavar="ID",
+                       help="print the span tree for one request id")
+    trace.add_argument("--check", action="store_true",
+                       help="run the trace invariant checker; exit non-zero "
+                       "on any violation")
+
     workload = sub.add_parser("workload", help="inspect the seeded workload")
     workload.add_argument("--requests", type=int, default=600)
     workload.add_argument("--seed", type=int, default=2003)
@@ -303,6 +327,86 @@ def _cmd_experiment4(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import (
+        MemorySink,
+        MetricsRegistry,
+        Tracer,
+        build_request_spans,
+        canonical_lines,
+        check_trace,
+        render_span_tree,
+    )
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(MemorySink(), metrics=metrics)
+    if args.loss or args.churn:
+        from repro.experiments.experiment4 import (
+            degradation_config,
+            experiment4_base_config,
+            run_degraded,
+        )
+
+        config = degradation_config(
+            experiment4_base_config(
+                master_seed=args.seed, request_count=args.requests
+            ),
+            loss=args.loss,
+            churn_rate=args.churn,
+            resilient=True,
+        )
+        print(f"Tracing {config.name} ({args.requests} requests, "
+              f"seed {args.seed})...", file=sys.stderr)
+        result = run_degraded(config, tracer=tracer).result
+    else:
+        from repro.experiments.runner import run_experiment
+
+        config = table2_experiments(
+            master_seed=args.seed, request_count=args.requests
+        )[args.experiment - 1]
+        print(f"Tracing {config.name} ({args.requests} requests, "
+              f"seed {args.seed})...", file=sys.stderr)
+        result = run_experiment(config, tracer=tracer)
+
+    records = tracer.records
+    counters = metrics.snapshot()["counters"]
+    rows = [
+        [name.removeprefix("records."), str(count)]
+        for name, count in counters.items()
+        if name.startswith("records.")
+    ]
+    print(render_table(["record kind", "count"], rows,
+                       title=f"{config.name}: {len(records)} trace records"))
+    print(f"rng digest: {result.rng_digest}")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for line in canonical_lines(records):
+                handle.write(line + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.request is not None:
+        spans = build_request_spans(records)
+        span = spans.get(args.request)
+        if span is None:
+            print(f"no trace records for request {args.request}")
+            return 1
+        print()
+        for line in render_span_tree(span):
+            print(line)
+
+    if args.check:
+        violations = check_trace(records)
+        print()
+        if violations:
+            for violation in violations:
+                print(f"  FAIL  {violation}")
+            return 1
+        print("  PASS  all trace invariants hold "
+              f"({len(records)} records checked)")
+    return 0
+
+
 def _cmd_workload(requests: int, seed: int, head: int) -> None:
     from repro.experiments.casestudy import case_study_topology
 
@@ -363,6 +467,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         return run_perf_cli(args.output, baseline=args.baseline, jobs=args.jobs,
                             only=args.only)
+    elif args.command == "trace":
+        return _cmd_trace(args)
     elif args.command == "workload":
         _cmd_workload(args.requests, args.seed, args.head)
     elif args.command == "predict":

@@ -41,6 +41,7 @@ from repro.metrics.records import (
 )
 from repro.net.faults import ChurnSchedule, ChurnSpec, FaultPlanSpec
 from repro.agents.resilience import ResilienceConfig
+from repro.obs.trace import Tracer
 from repro.pace.workloads import paper_application_specs
 from repro.scheduling.scheduler import SchedulingPolicy
 from repro.sim.events import Priority
@@ -145,6 +146,7 @@ def run_degraded(
     topology: Optional[GridTopology] = None,
     *,
     workload: Optional[List[WorkloadItem]] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> DegradedRun:
     """Run *config* under its fault plan and churn schedule to a horizon.
 
@@ -159,7 +161,7 @@ def run_degraded(
        timeouts resolve — the queue is finite once nothing re-arms.
     """
     t_wall = time.perf_counter()
-    system = build_grid(config, topology)
+    system = build_grid(config, topology, tracer=tracer)
     items = (
         workload
         if workload is not None
@@ -249,6 +251,7 @@ def run_degraded(
         rejected_count=len(system.portal.failures()),
         wall_seconds=time.perf_counter() - t_wall,
         messages_delivered=system.transport.delivered,
+        rng_digest=system.rngs.state_digest() if system.rngs is not None else "",
     )
     successes = system.portal.successes()
     counters = ResilienceCounters.from_stats(

@@ -32,6 +32,7 @@ from repro.metrics.records import CompletionRecord, records_from_tasks
 from repro.net.faults import PORTAL_NAME, FaultPlan
 from repro.net.message import Endpoint
 from repro.net.transport import Transport
+from repro.obs.trace import Tracer
 from repro.pace.cache import CacheStats
 from repro.pace.evaluation import EvaluationEngine
 from repro.pace.resource import ResourceModel
@@ -64,6 +65,8 @@ class GridSystem:
     hierarchy: Hierarchy
     portal: UserPortal
     specs: Mapping[str, ApplicationSpec]
+    rngs: Optional[RngRegistry] = None
+    tracer: Optional[Tracer] = None
 
     def start(self) -> None:
         """Activate advertisement strategies and resource monitors."""
@@ -92,6 +95,10 @@ class ExperimentResult:
     rejected_count: int
     wall_seconds: float
     messages_delivered: int = 0
+    #: sha256 over every named RNG stream's final state (see
+    #: :meth:`repro.utils.rng.RngRegistry.state_digest`) — the witness the
+    #: tracing-changes-nothing property tests compare.
+    rng_digest: str = ""
 
     @property
     def horizon(self) -> float:
@@ -100,13 +107,23 @@ class ExperimentResult:
 
 
 def build_grid(
-    config: ExperimentConfig, topology: Optional[GridTopology] = None
+    config: ExperimentConfig,
+    topology: Optional[GridTopology] = None,
+    *,
+    tracer: Optional[Tracer] = None,
 ) -> GridSystem:
-    """Assemble the full system for *config* (default: the Fig. 7 grid)."""
+    """Assemble the full system for *config* (default: the Fig. 7 grid).
+
+    Passing a :class:`~repro.obs.trace.Tracer` threads it through every
+    layer — engine, transport, schedulers, GA kernels, agents, and the
+    portal.  ``tracer=None`` (the default) leaves every emission site a
+    single pointer comparison; a traced run's outputs are byte-identical
+    either way (property-tested).
+    """
     topo = topology if topology is not None else case_study_topology()
     rngs = RngRegistry(config.master_seed)
-    sim = Engine()
-    transport = Transport(sim)
+    sim = Engine(tracer=tracer)
+    transport = Transport(sim, tracer=tracer)
     evaluator = EvaluationEngine(
         noise_factor=config.prediction_noise,
         rng=rngs.stream("prediction-noise") if config.prediction_noise > 0 else None,
@@ -137,6 +154,7 @@ def build_grid(
             ),
             monitor_poll_interval=config.monitor_poll_interval,
             freetime_mode=config.freetime_mode,
+            tracer=tracer,
         )
         schedulers[name] = scheduler
         agents[name] = Agent(
@@ -148,9 +166,10 @@ def build_grid(
             discovery_config=config.discovery,
             advertisement=_advertisement(config),
             resilience=config.resilience,
+            tracer=tracer,
         )
     hierarchy = wire_hierarchy(agents, dict(topo.parent_of))
-    portal = UserPortal(transport, sim, resilience=config.resilience)
+    portal = UserPortal(transport, sim, resilience=config.resilience, tracer=tracer)
     if config.faults is not None:
         endpoints = {name: agent.endpoint for name, agent in agents.items()}
         endpoints[PORTAL_NAME] = portal.endpoint
@@ -174,6 +193,8 @@ def build_grid(
         hierarchy=hierarchy,
         portal=portal,
         specs=specs,
+        rngs=rngs,
+        tracer=tracer,
     )
 
 
@@ -190,6 +211,7 @@ def run_experiment(
     topology: Optional[GridTopology] = None,
     *,
     workload: Optional[List[WorkloadItem]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentResult:
     """Run one experiment to completion and compute the §3.3 metrics.
 
@@ -198,7 +220,7 @@ def run_experiment(
     final scheduling scenarios, not a truncated horizon.
     """
     t_wall = time.perf_counter()
-    system = build_grid(config, topology)
+    system = build_grid(config, topology, tracer=tracer)
     items = (
         workload
         if workload is not None
@@ -249,6 +271,7 @@ def run_experiment(
         rejected_count=len(system.portal.failures()),
         wall_seconds=time.perf_counter() - t_wall,
         messages_delivered=system.transport.delivered,
+        rng_digest=system.rngs.state_digest() if system.rngs is not None else "",
     )
 
 

@@ -273,6 +273,12 @@ class FaultPlan:
         """Total messages this plan dropped (chance + partition)."""
         return self.dropped_by_chance + self.dropped_by_partition
 
+    def reset_counters(self) -> None:
+        """Zero the attribution counters (the rng stream is untouched)."""
+        self.dropped_by_chance = 0
+        self.dropped_by_partition = 0
+        self.jittered = 0
+
     def on_send(self, message: Message, now: float) -> FaultVerdict:
         """Decide one send's fate; called by the transport for every message.
 

@@ -20,6 +20,8 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.errors import TransportError
 from repro.net.faults import FaultPlan
 from repro.net.message import Endpoint, Message
+from repro.obs.records import MessageDelivered, MessageDropped, MessageSent
+from repro.obs.trace import Tracer
 from repro.sim.engine import Engine
 from repro.sim.events import Priority
 from repro.utils.validation import check_non_negative
@@ -48,6 +50,9 @@ class Transport:
         send; ``None`` (default) is the faultless seed behaviour.
     drop_ring_size:
         How many recently dropped messages to retain for inspection.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when set, every send,
+        delivery, and drop (with fault attribution) is recorded.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class Transport:
         latency: float = 0.0,
         fault_plan: Optional[FaultPlan] = None,
         drop_ring_size: int = DEFAULT_DROP_RING_SIZE,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         check_non_negative(latency, "latency")
         if drop_ring_size < 1:
@@ -71,6 +77,7 @@ class Transport:
         self._fault_dropped_count = 0
         self._drop_ring: Deque[Message] = deque(maxlen=drop_ring_size)
         self._taps: List[Callable[[Message], None]] = []
+        self._tracer = tracer
 
     # ------------------------------------------------------------------ state
 
@@ -172,6 +179,16 @@ class Transport:
                 f"(message {message.kind.value} from {message.sender})"
             )
         self._sent += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                MessageSent(
+                    t=self._sim.now,
+                    msg=message.kind.value,
+                    sender=str(message.sender),
+                    recipient=str(message.recipient),
+                    hops=message.hops,
+                )
+            )
         extra_latency = 0.0
         if self._fault_plan is not None:
             verdict = self._fault_plan.on_send(message, self._sim.now)
@@ -180,6 +197,8 @@ class Transport:
                 # exactly the failure mode ack timeouts exist to detect.
                 self._fault_dropped_count += 1
                 self._drop_ring.append(message)
+                if self._tracer is not None:
+                    self._tracer.emit(self._drop_record(message, verdict.reason))
                 return
             extra_latency = verdict.extra_latency
         self._sim.schedule_in(
@@ -194,8 +213,49 @@ class Transport:
         if handler is None:
             self._dropped_count += 1
             self._drop_ring.append(message)
+            if self._tracer is not None:
+                self._tracer.emit(self._drop_record(message, "unregistered"))
             return
         self._delivered += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                MessageDelivered(
+                    t=self._sim.now,
+                    msg=message.kind.value,
+                    sender=str(message.sender),
+                    recipient=str(message.recipient),
+                    hops=message.hops,
+                )
+            )
         for tap in self._taps:
             tap(message)
         handler(message)
+
+    def _drop_record(self, message: Message, reason: str) -> MessageDropped:
+        return MessageDropped(
+            t=self._sim.now,
+            msg=message.kind.value,
+            sender=str(message.sender),
+            recipient=str(message.recipient),
+            hops=message.hops,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------ reset
+
+    def reset_counters(self) -> None:
+        """Zero every stateful counter and the drop ring.
+
+        Covers the sent/delivered/dropped tallies, the bounded ring of
+        recent drops, and — because its counters are part of the same
+        observable surface — the installed fault plan's attribution
+        counters.  Endpoint registrations and the fault plan itself are
+        configuration, not state, and survive the reset.
+        """
+        self._sent = 0
+        self._delivered = 0
+        self._dropped_count = 0
+        self._fault_dropped_count = 0
+        self._drop_ring.clear()
+        if self._fault_plan is not None:
+            self._fault_plan.reset_counters()

@@ -1,0 +1,84 @@
+"""Deterministic tracing, metrics, span trees, and invariant checking.
+
+The observability layer makes the repro's *decision stream* a first-class
+artifact: every discovery hop, GA evolve call, dispatch, drop, and retry
+is a typed record stamped with virtual time only, so a trace is a pure
+function of ``(configuration, master seed)``.  See docs/observability.md.
+"""
+
+from repro.obs.check import Violation, check_trace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.records import (
+    CANONICAL_FIELDS,
+    AckSent,
+    AgentDown,
+    AgentUp,
+    CostComponents,
+    DiscoveryEvaluated,
+    EventFired,
+    EvolveStep,
+    ForwardGiveUp,
+    ForwardRetry,
+    LocalSubmit,
+    MessageDelivered,
+    MessageDropped,
+    MessageSent,
+    PortalResult,
+    PortalRetry,
+    PortalSubmitted,
+    TaskCompleted,
+    TaskDispatched,
+    TaskQueued,
+    TraceRecord,
+    canonical_dict,
+    canonical_lines,
+    record_to_dict,
+)
+from repro.obs.spans import RequestSpan, build_request_spans, render_span_tree
+from repro.obs.trace import FileSink, MemorySink, TeeSink, Tracer, TraceSink
+
+__all__ = [
+    "AckSent",
+    "AgentDown",
+    "AgentUp",
+    "CANONICAL_FIELDS",
+    "CostComponents",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DiscoveryEvaluated",
+    "EventFired",
+    "EvolveStep",
+    "FileSink",
+    "ForwardGiveUp",
+    "ForwardRetry",
+    "Histogram",
+    "LocalSubmit",
+    "MemorySink",
+    "MessageDelivered",
+    "MessageDropped",
+    "MessageSent",
+    "MetricsRegistry",
+    "PortalResult",
+    "PortalRetry",
+    "PortalSubmitted",
+    "RequestSpan",
+    "TaskCompleted",
+    "TaskDispatched",
+    "TaskQueued",
+    "TeeSink",
+    "TraceRecord",
+    "TraceSink",
+    "Tracer",
+    "Violation",
+    "build_request_spans",
+    "canonical_dict",
+    "canonical_lines",
+    "check_trace",
+    "record_to_dict",
+    "render_span_tree",
+]

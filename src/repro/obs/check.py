@@ -1,0 +1,178 @@
+"""Trace-based invariant checking.
+
+:func:`check_trace` replays a record stream and proves the system-level
+invariants the simulation is supposed to uphold — the properties that
+stay true no matter which seed, fault plan, or topology produced the
+trace (DESIGN.md "Trace determinism" section):
+
+``clock-monotone``
+    Virtual time never goes backwards across the record stream.
+``dispatch-after-queue``
+    A task is never dispatched before it entered its scheduler's queue,
+    and never started before the dispatch decision's own time (no
+    scheduling into the past).
+``send-after-down``
+    No message is sent from an endpoint between its ``agent.down`` and
+    the matching ``agent.up`` — a crashed agent has no process to send
+    from.
+``ack-resolution``
+    Every request that was ACKed by the resilience layer eventually
+    completes on some resource or gets a portal-recorded result
+    (including a synthesized failure).  The one legitimate escape is the
+    ACKing agent crashing *after* the ACK while still holding the
+    forward — those requests are excused, not flagged.
+``evolve-monotone``
+    Within one ``GAScheduler.evolve`` call the per-generation best cost
+    never increases: elitism always carries the incumbent forward.
+
+Violations are returned, not raised, so tests can assert emptiness and
+the CLI can render every problem at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.records import (
+    AckSent,
+    AgentDown,
+    AgentUp,
+    EvolveStep,
+    MessageSent,
+    PortalResult,
+    TaskCompleted,
+    TaskDispatched,
+    TaskQueued,
+    TraceRecord,
+)
+
+__all__ = ["Violation", "check_trace"]
+
+#: Slack for float comparisons between schedule times and event times.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found in a trace."""
+
+    rule: str
+    t: float
+    index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] t={self.t:.3f} #{self.index}: {self.message}"
+
+
+def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
+    """All invariant violations in *records*, in record order."""
+    violations: List[Violation] = []
+
+    last_t: Optional[float] = None
+    queued_at: Dict[Tuple[str, int], float] = {}
+    down_since: Dict[str, int] = {}  # endpoint -> index of its agent.down
+    # request_id -> (index of its last ACK, the ACKing agent's name)
+    last_ack: Dict[int, Tuple[int, str]] = {}
+    # agent name -> indices of its agent.down records
+    downs_by_agent: Dict[str, List[int]] = {}
+    completed_requests: Dict[Tuple[str, int], bool] = {}
+    resulted_requests: set = set()
+
+    def flag(rule: str, record: TraceRecord, index: int, message: str) -> None:
+        violations.append(Violation(rule, record.t, index, message))
+
+    for index, record in enumerate(records):
+        if last_t is not None and record.t < last_t - _EPS:
+            flag(
+                "clock-monotone", record, index,
+                f"{record.kind} at t={record.t} after t={last_t}",
+            )
+        last_t = max(record.t, last_t) if last_t is not None else record.t
+
+        if isinstance(record, TaskQueued):
+            queued_at.setdefault((record.resource, record.task_id), record.t)
+        elif isinstance(record, TaskDispatched):
+            key = (record.resource, record.task_id)
+            arrival = queued_at.get(key)
+            if arrival is None:
+                flag(
+                    "dispatch-after-queue", record, index,
+                    f"task {record.task_id} dispatched on {record.resource} "
+                    "without a prior sched.queue record",
+                )
+            elif record.start < arrival - _EPS:
+                flag(
+                    "dispatch-after-queue", record, index,
+                    f"task {record.task_id} on {record.resource} starts at "
+                    f"{record.start} before its arrival at {arrival}",
+                )
+            if record.start < record.t - _EPS:
+                flag(
+                    "dispatch-after-queue", record, index,
+                    f"task {record.task_id} on {record.resource} starts at "
+                    f"{record.start}, before the dispatch decision at "
+                    f"{record.t}",
+                )
+        elif isinstance(record, TaskCompleted):
+            completed_requests[(record.resource, record.task_id)] = True
+        elif isinstance(record, AgentDown):
+            down_since[record.endpoint] = index
+            downs_by_agent.setdefault(record.agent, []).append(index)
+        elif isinstance(record, AgentUp):
+            down_since.pop(record.endpoint, None)
+        elif isinstance(record, MessageSent):
+            since = down_since.get(record.sender)
+            if since is not None:
+                flag(
+                    "send-after-down", record, index,
+                    f"{record.msg} sent from {record.sender} which went "
+                    f"down at record #{since}",
+                )
+        elif isinstance(record, AckSent):
+            last_ack[record.request_id] = (index, record.agent)
+        elif isinstance(record, PortalResult):
+            resulted_requests.add(record.request_id)
+        elif isinstance(record, EvolveStep):
+            history = record.history
+            for gen in range(1, len(history)):
+                if history[gen] > history[gen - 1] + _EPS:
+                    flag(
+                        "evolve-monotone", record, index,
+                        f"evolve on {record.resource}: best cost rose from "
+                        f"{history[gen - 1]} to {history[gen]} at "
+                        f"generation {gen}",
+                    )
+                    break
+
+    # Requests completed on a resource, mapped back through agent.local.
+    completed_ids = set()
+    local_by_task: Dict[Tuple[str, int], int] = {}
+    for record in records:
+        if record.kind == "agent.local":
+            local_by_task[(record.agent, record.task_id)] = record.request_id
+    for key in completed_requests:
+        request_id = local_by_task.get(key)
+        if request_id is not None:
+            completed_ids.add(request_id)
+
+    for request_id, (ack_index, agent) in sorted(last_ack.items()):
+        if request_id in resulted_requests or request_id in completed_ids:
+            continue
+        crashed_after = any(
+            idx > ack_index for idx in downs_by_agent.get(agent, ())
+        )
+        if crashed_after:
+            continue  # the ACKing agent died holding the forward: excused
+        ack_record = records[ack_index]
+        violations.append(
+            Violation(
+                "ack-resolution", ack_record.t, ack_index,
+                f"request {request_id} ACKed by {agent} never completed "
+                "and the portal recorded no result",
+            )
+        )
+
+    violations.sort(key=lambda v: v.index)
+    return violations

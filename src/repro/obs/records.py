@@ -1,0 +1,403 @@
+"""Typed trace records — the schema of the observability layer.
+
+Every record is a frozen dataclass stamped with the **virtual** time it was
+emitted at (``t``) and a stable ``kind`` string.  No record carries a wall
+clock, a process-global id, or an object repr, so a trace is a pure
+function of ``(configuration, master seed)`` and two runs of the same
+experiment produce byte-identical streams — the property the golden-trace
+tier locks in (see docs/observability.md).
+
+The records mirror the four decision layers of the system:
+
+==================  ====================================================
+kind                emitted by
+==================  ====================================================
+``sim.event``       :class:`~repro.sim.engine.Engine` event dispatch
+``net.send``        :class:`~repro.net.transport.Transport.send`
+``net.deliver``     transport delivery
+``net.drop``        transport drop, with fault attribution (``reason``)
+``agent.discovery`` one eq. (10)/§3.1 routing decision
+``agent.local``     a request absorbed into the agent's own scheduler
+``agent.ack``       an ACK sent by the resilience layer
+``agent.retry``     an ack-timeout retry / reroute
+``agent.give_up``   the resilience layer exhausting its retries
+``agent.down``      ``Agent.deactivate`` (crash)
+``agent.up``        ``Agent.reactivate`` (restart)
+``portal.submit``   one portal submission
+``portal.retry``    a portal-level resubmission
+``portal.result``   a result recorded at the portal
+``sched.queue``     a task entering the optimisation set T
+``sched.dispatch``  a task launched onto nodes (GA slot / static launch)
+``sched.cost``      eq. (8) components of the dispatched best solution
+``sched.complete``  a task completing execution
+``ga.evolve``       one ``GAScheduler.evolve`` call (per-gen best costs)
+==================  ====================================================
+
+:data:`CANONICAL_FIELDS` is the golden-trace normaliser: for each kind it
+whitelists the *decision* fields (dropping payload bytes, event sequence
+numbers, and bulky per-generation histories) so checked-in traces stay
+compact while still localising which decision diverged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "TraceRecord",
+    "EventFired",
+    "MessageSent",
+    "MessageDelivered",
+    "MessageDropped",
+    "DiscoveryEvaluated",
+    "LocalSubmit",
+    "AckSent",
+    "ForwardRetry",
+    "ForwardGiveUp",
+    "AgentDown",
+    "AgentUp",
+    "PortalSubmitted",
+    "PortalRetry",
+    "PortalResult",
+    "TaskQueued",
+    "TaskDispatched",
+    "CostComponents",
+    "TaskCompleted",
+    "EvolveStep",
+    "CANONICAL_FIELDS",
+    "record_to_dict",
+    "canonical_dict",
+    "canonical_lines",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Base of every trace record: the virtual time it was emitted at."""
+
+    kind: ClassVar[str] = "record"
+
+    t: float
+
+
+# ------------------------------------------------------------------ sim layer
+
+
+@dataclass(frozen=True)
+class EventFired(TraceRecord):
+    """One simulation event dispatched by the engine."""
+
+    kind: ClassVar[str] = "sim.event"
+
+    label: str
+    priority: int
+    seq: int
+
+
+# ------------------------------------------------------------------ net layer
+
+
+@dataclass(frozen=True)
+class MessageSent(TraceRecord):
+    """A message accepted by the transport."""
+
+    kind: ClassVar[str] = "net.send"
+
+    msg: str
+    sender: str
+    recipient: str
+    hops: int
+
+
+@dataclass(frozen=True)
+class MessageDelivered(TraceRecord):
+    """A message handed to its endpoint handler."""
+
+    kind: ClassVar[str] = "net.deliver"
+
+    msg: str
+    sender: str
+    recipient: str
+    hops: int
+
+
+@dataclass(frozen=True)
+class MessageDropped(TraceRecord):
+    """A message lost in transit, with fault attribution.
+
+    ``reason`` is ``"loss"`` / ``"partition"`` for fault-plan drops and
+    ``"unregistered"`` when the recipient endpoint vanished in flight.
+    """
+
+    kind: ClassVar[str] = "net.drop"
+
+    msg: str
+    sender: str
+    recipient: str
+    hops: int
+    reason: str
+
+
+# ---------------------------------------------------------------- agent layer
+
+
+@dataclass(frozen=True)
+class DiscoveryEvaluated(TraceRecord):
+    """One §3.1 discovery decision (an eq. (10) evaluation round)."""
+
+    kind: ClassVar[str] = "agent.discovery"
+
+    agent: str
+    request_id: int
+    hops: int
+    decision: str
+    target: Optional[str]
+    estimate: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class LocalSubmit(TraceRecord):
+    """A request absorbed into the receiving agent's own scheduler."""
+
+    kind: ClassVar[str] = "agent.local"
+
+    agent: str
+    request_id: int
+    task_id: int
+
+
+@dataclass(frozen=True)
+class AckSent(TraceRecord):
+    """A resilience-layer ACK for a received REQUEST."""
+
+    kind: ClassVar[str] = "agent.ack"
+
+    agent: str
+    request_id: int
+    duplicate: bool
+
+
+@dataclass(frozen=True)
+class ForwardRetry(TraceRecord):
+    """An unacknowledged forward re-routed after its ack timeout."""
+
+    kind: ClassVar[str] = "agent.retry"
+
+    agent: str
+    request_id: int
+    attempt: int
+    target: str
+
+
+@dataclass(frozen=True)
+class ForwardGiveUp(TraceRecord):
+    """The resilience layer exhausting retries (absorb-or-fail follows)."""
+
+    kind: ClassVar[str] = "agent.give_up"
+
+    agent: str
+    request_id: int
+
+
+@dataclass(frozen=True)
+class AgentDown(TraceRecord):
+    """An agent leaving the grid (crash simulation)."""
+
+    kind: ClassVar[str] = "agent.down"
+
+    agent: str
+    endpoint: str
+
+
+@dataclass(frozen=True)
+class AgentUp(TraceRecord):
+    """A crashed agent returning to the grid."""
+
+    kind: ClassVar[str] = "agent.up"
+
+    agent: str
+    endpoint: str
+
+
+# --------------------------------------------------------------- portal layer
+
+
+@dataclass(frozen=True)
+class PortalSubmitted(TraceRecord):
+    """One request submitted through the user portal."""
+
+    kind: ClassVar[str] = "portal.submit"
+
+    request_id: int
+    agent: str
+    application: str
+    deadline: float
+
+
+@dataclass(frozen=True)
+class PortalRetry(TraceRecord):
+    """A portal-level resubmission after a missing ACK or dead entry agent."""
+
+    kind: ClassVar[str] = "portal.retry"
+
+    request_id: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class PortalResult(TraceRecord):
+    """A result recorded at the portal.
+
+    ``synthetic`` marks a failure the portal manufactured after exhausting
+    its own retries (no RESULT message ever arrived).
+    """
+
+    kind: ClassVar[str] = "portal.result"
+
+    request_id: int
+    success: bool
+    synthetic: bool
+
+
+# ------------------------------------------------------------ scheduler layer
+
+
+@dataclass(frozen=True)
+class TaskQueued(TraceRecord):
+    """A task entering a local scheduler's optimisation set T."""
+
+    kind: ClassVar[str] = "sched.queue"
+
+    resource: str
+    task_id: int
+
+
+@dataclass(frozen=True)
+class TaskDispatched(TraceRecord):
+    """A task launched onto its allocated nodes."""
+
+    kind: ClassVar[str] = "sched.dispatch"
+
+    resource: str
+    task_id: int
+    node_ids: Tuple[int, ...]
+    start: float
+    completion: float
+
+
+@dataclass(frozen=True)
+class CostComponents(TraceRecord):
+    """eq. (8) components of the incumbent schedule at a dispatch event."""
+
+    kind: ClassVar[str] = "sched.cost"
+
+    resource: str
+    omega: float
+    phi: float
+    theta: float
+    combined: float
+
+
+@dataclass(frozen=True)
+class TaskCompleted(TraceRecord):
+    """A task completing execution on its resource."""
+
+    kind: ClassVar[str] = "sched.complete"
+
+    resource: str
+    task_id: int
+    completion: float
+
+
+# ------------------------------------------------------------------- GA layer
+
+
+@dataclass(frozen=True)
+class EvolveStep(TraceRecord):
+    """One ``GAScheduler.evolve`` call.
+
+    ``history`` holds this call's per-generation best costs — the series
+    the invariant checker proves non-increasing (elitism guarantees the
+    incumbent never worsens within one call).
+    """
+
+    kind: ClassVar[str] = "ga.evolve"
+
+    resource: str
+    n_tasks: int
+    generations: int
+    best_cost: float
+    history: Tuple[float, ...]
+
+
+# ------------------------------------------------------------- serialisation
+
+#: The golden-trace normaliser: kind → the decision fields kept in the
+#: canonical stream.  Bulk kinds (``sim.event``, ``net.send``,
+#: ``net.deliver``) and bulky fields (per-generation histories, event
+#: sequence numbers) are dropped so checked-in traces stay compact;
+#: everything kept is a decision or its direct justification.
+CANONICAL_FIELDS: Mapping[str, Tuple[str, ...]] = {
+    "net.drop": ("msg", "sender", "recipient", "hops", "reason"),
+    "agent.discovery": (
+        "agent", "request_id", "hops", "decision", "target", "estimate", "reason",
+    ),
+    "agent.local": ("agent", "request_id", "task_id"),
+    "agent.ack": ("agent", "request_id", "duplicate"),
+    "agent.retry": ("agent", "request_id", "attempt", "target"),
+    "agent.give_up": ("agent", "request_id"),
+    "agent.down": ("agent",),
+    "agent.up": ("agent",),
+    "portal.submit": ("request_id", "agent", "application", "deadline"),
+    "portal.retry": ("request_id", "attempt"),
+    "portal.result": ("request_id", "success", "synthetic"),
+    "sched.queue": ("resource", "task_id"),
+    "sched.dispatch": ("resource", "task_id", "node_ids", "start", "completion"),
+    "sched.cost": ("resource", "omega", "phi", "theta", "combined"),
+    "sched.complete": ("resource", "task_id", "completion"),
+    "ga.evolve": ("resource", "n_tasks", "generations", "best_cost"),
+}
+
+
+def record_to_dict(record: TraceRecord) -> Dict[str, object]:
+    """The full JSON-ready dict of *record* (``kind`` and ``t`` first)."""
+    out: Dict[str, object] = {"kind": record.kind, "t": record.t}
+    for f in fields(record):
+        if f.name == "t":
+            continue
+        value = getattr(record, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def canonical_dict(record: TraceRecord) -> Optional[Dict[str, object]]:
+    """The normalised dict of *record*, or ``None`` if its kind is dropped."""
+    kept = CANONICAL_FIELDS.get(record.kind)
+    if kept is None:
+        return None
+    out: Dict[str, object] = {"kind": record.kind, "t": record.t}
+    for name in kept:
+        value = getattr(record, name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[name] = value
+    return out
+
+
+def canonical_lines(records: Sequence[TraceRecord]) -> List[str]:
+    """The canonical JSONL stream of *records* — the golden-trace format.
+
+    Deterministic by construction: sim-time stamps only, sorted keys,
+    shortest-repr floats, and the :data:`CANONICAL_FIELDS` whitelist.
+    """
+    lines: List[str] = []
+    for record in records:
+        payload = canonical_dict(record)
+        if payload is not None:
+            lines.append(json.dumps(payload, sort_keys=True))
+    return lines

@@ -29,7 +29,7 @@ as :attr:`GAScheduler.stats <repro.scheduling.ga.GAScheduler.stats>`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -81,6 +81,11 @@ class EvalReuseStats:
         if self.rows_costed == 0:
             return 0.0
         return 1.0 - self.rows_evaluated / self.rows_costed
+
+    def reset(self) -> None:
+        """Zero every counter (reset symmetry with the other stats objects)."""
+        for f in fields(self):
+            setattr(self, f.name, f.default)
 
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict copy (for benchmarks and reports)."""

@@ -33,6 +33,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ScheduleError, ValidationError
+from repro.obs.records import EvolveStep
+from repro.obs.trace import Tracer
 from repro.scheduling.batched import (
     batched_insert,
     batched_mask_crossover,
@@ -149,10 +151,14 @@ class GAScheduler:
         config: GAConfig = GAConfig(),
         *,
         duration_row: Optional[Callable[[int], np.ndarray]] = None,
+        tracer: Optional[Tracer] = None,
+        trace_name: str = "",
     ) -> None:
         if n_nodes < 1:
             raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
         self._n = int(n_nodes)
+        self._tracer = tracer
+        self._trace_name = trace_name
         self._duration = duration
         self._duration_row_fn = duration_row
         self._rng = rng
@@ -841,6 +847,8 @@ class GAScheduler:
         # and on a converged population most children are re-creations of
         # already-costed individuals.
         memo: Optional[Dict[bytes, float]] = {} if cfg.eval_reuse else None
+        generations_before = self._generations
+        history_before = len(self._history)
         costs = self._population_costs(node_free_times, ref_time, memo=memo)
         if cfg.memetic:
             costs = self._memetic_step(costs, node_free_times, ref_time, memo)
@@ -872,7 +880,21 @@ class GAScheduler:
                         break
         if cfg.eval_reuse:
             self._store_cost_cache(costs, node_free_times, ref_time)
-        return float(costs.min())
+        best_cost = float(costs.min())
+        if self._tracer is not None:
+            self._tracer.emit(
+                EvolveStep(
+                    t=float(ref_time),
+                    resource=self._trace_name,
+                    n_tasks=self.n_tasks,
+                    generations=self._generations - generations_before,
+                    best_cost=best_cost,
+                    history=tuple(
+                        best for _, best in self._history[history_before:]
+                    ),
+                )
+            )
+        return best_cost
 
     def best_solution(
         self, node_free_times: Sequence[float], ref_time: float

@@ -33,6 +33,13 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import TaskError, ValidationError
+from repro.obs.records import (
+    CostComponents,
+    TaskCompleted,
+    TaskDispatched,
+    TaskQueued,
+)
+from repro.obs.trace import Tracer
 from repro.pace.evaluation import EvaluationEngine
 from repro.pace.resource import ResourceModel
 from repro.scheduling.baselines import (
@@ -40,6 +47,7 @@ from repro.scheduling.baselines import (
     RoundRobinScheduler,
     StaticPlacement,
 )
+from repro.scheduling.cost import IDLE_WEIGHTERS, schedule_cost
 from repro.scheduling.fifo import FIFOScheduler
 from repro.scheduling.ga import GAConfig, GAScheduler
 from repro.scheduling.monitor import ResourceMonitor
@@ -127,6 +135,7 @@ class LocalScheduler:
         freetime_mode: str = "makespan",
         load_profile: Optional[Callable[[float], float]] = None,
         duration_correction: Optional[Callable[[], float]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if generations_per_event < 0:
             raise ValidationError("generations_per_event must be >= 0")
@@ -138,6 +147,7 @@ class LocalScheduler:
         self._resource = resource
         self._evaluator = evaluator
         self._policy = policy
+        self._tracer = tracer
         self._freetime_mode = freetime_mode
         self._generations_per_event = int(generations_per_event)
         self._environments = tuple(environments)
@@ -171,6 +181,8 @@ class LocalScheduler:
                 rng,
                 ga_config,
                 duration_row=self._task_duration_row,
+                tracer=tracer,
+                trace_name=resource.name,
             )
         elif policy is SchedulingPolicy.FIFO:
             self._static = FIFOScheduler(resource.size)
@@ -345,6 +357,14 @@ class LocalScheduler:
         task = self._queue.submit(request)
         self._all_tasks.append(task)
         self._task_by_id[task.task_id] = task
+        if self._tracer is not None:
+            self._tracer.emit(
+                TaskQueued(
+                    t=self._sim.now,
+                    resource=self._resource.name,
+                    task_id=task.task_id,
+                )
+            )
         if self._policy.is_static:
             self._place_static(task)
         else:
@@ -387,7 +407,18 @@ class LocalScheduler:
             )
             return
         self._queue.remove(task.task_id)
-        self._executor.launch(task, allocation.node_ids)
+        completion = self._executor.launch(task, allocation.node_ids)
+        if self._tracer is not None:
+            self._tracer.emit(
+                TaskDispatched(
+                    t=self._sim.now,
+                    resource=self._resource.name,
+                    task_id=task.task_id,
+                    node_ids=tuple(int(n) for n in allocation.node_ids),
+                    start=self._sim.now,
+                    completion=completion,
+                )
+            )
 
     # -------------------------------------------------------------------- GA
 
@@ -423,15 +454,54 @@ class LocalScheduler:
         self._cached_node_free = np.array(
             [schedule.node_free_after(n.node_id) for n in self._resource.nodes]
         )
+        if self._tracer is not None:
+            # eq. (8) breakdown of the incumbent — pure recomputation (no
+            # RNG, no state), so tracing cannot perturb the run.
+            breakdown = schedule_cost(
+                schedule,
+                {tid: self._ga.deadline(tid) for tid in self._ga.task_ids},
+                self._ga.config.weights,
+                idle_weighter=IDLE_WEIGHTERS[self._ga.config.idle_weighting],
+            )
+            self._tracer.emit(
+                CostComponents(
+                    t=now,
+                    resource=self._resource.name,
+                    omega=breakdown.makespan,
+                    phi=breakdown.weighted_idle,
+                    theta=breakdown.deadline_penalty,
+                    combined=breakdown.combined,
+                )
+            )
         for entry in schedule.entries:
             if entry.start <= now + _EPS:
                 task = self._queue.remove(entry.task_id)
                 self._ga.remove_task(entry.task_id)
-                self._executor.launch(task, entry.node_ids)
+                completion = self._executor.launch(task, entry.node_ids)
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        TaskDispatched(
+                            t=now,
+                            resource=self._resource.name,
+                            task_id=entry.task_id,
+                            node_ids=tuple(int(n) for n in entry.node_ids),
+                            start=entry.start,
+                            completion=completion,
+                        )
+                    )
 
     # ------------------------------------------------------------ completions
 
     def _handle_completion(self, task: Task) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(
+                TaskCompleted(
+                    t=self._sim.now,
+                    resource=self._resource.name,
+                    task_id=task.task_id,
+                    completion=self._sim.now,
+                )
+            )
         for listener in self._result_listeners:
             listener(task)
         if self._policy is SchedulingPolicy.GA:

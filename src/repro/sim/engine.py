@@ -21,10 +21,14 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.records import EventFired
 from repro.sim.events import Event, EventHandle, Priority
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.trace import Tracer
 
 __all__ = ["Engine"]
 
@@ -44,7 +48,10 @@ class Engine:
     [1.0, 5.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, *, tracer: Optional["Tracer"] = None
+    ) -> None:
+        self._start_time = float(start_time)
         self._now = float(start_time)
         self._heap: List[Event] = []
         self._sequence = 0
@@ -55,6 +62,7 @@ class Engine:
         # called inside hot run loops via ``__len__`` — is O(1) instead of
         # an O(n) heap scan.
         self._pending = 0
+        self._tracer = tracer
 
     # ------------------------------------------------------------------ state
 
@@ -62,6 +70,11 @@ class Engine:
     def now(self) -> float:
         """The current virtual time in seconds."""
         return self._now
+
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        """The tracer event dispatch is reported to, if any."""
+        return self._tracer
 
     @property
     def pending(self) -> int:
@@ -138,6 +151,15 @@ class Engine:
             self._pending -= 1
             self._now = event.time
             self._fired += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    EventFired(
+                        t=event.time,
+                        label=event.label,
+                        priority=int(event.priority),
+                        seq=event.sequence,
+                    )
+                )
             event.callback()
             return True
         return False
@@ -180,6 +202,26 @@ class Engine:
         finally:
             self._running = False
         return fired
+
+    def reset(self) -> None:
+        """Return the engine to its just-constructed state.
+
+        Pending events are discarded (their cancel hooks are not invoked —
+        the whole queue is gone), the clock rewinds to the construction
+        ``start_time``, and the sequence/fired/pending counters zero, so a
+        reset engine replays a seeded scenario identically to a fresh one.
+
+        Raises
+        ------
+        SimulationError
+            If called re-entrantly from inside a running event callback.
+        """
+        self._guard_reentrancy()
+        self._heap.clear()
+        self._now = self._start_time
+        self._sequence = 0
+        self._fired = 0
+        self._pending = 0
 
     # --------------------------------------------------------------- helpers
 

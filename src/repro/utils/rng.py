@@ -15,6 +15,8 @@ identical stream, regardless of creation order, because seeds are derived with
 
 from __future__ import annotations
 
+import hashlib
+import json
 import zlib
 from typing import Dict, Iterator
 
@@ -85,6 +87,23 @@ class RngRegistry:
     def names(self) -> Iterator[str]:
         """Iterate over the names of streams created so far."""
         return iter(sorted(self._streams))
+
+    def state_digest(self) -> str:
+        """A hex digest of every stream's current generator state.
+
+        Two registries agree on this digest iff every named stream exists
+        in both and sits at exactly the same position — the strongest
+        cheap witness that two runs consumed identical randomness (used by
+        the tracing-changes-nothing property tests).
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self._streams):
+            state = self._streams[name].bit_generator.state
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(json.dumps(state, sort_keys=True, default=str).encode("utf-8"))
+            digest.update(b"\x01")
+        return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngRegistry(master_seed={self._master_seed}, streams={sorted(self._streams)})"

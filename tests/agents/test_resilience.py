@@ -278,6 +278,47 @@ class TestCrashAndRestart:
         agent.deactivate()
         agent.deactivate()
 
+    def test_restart_forgets_seen_forwards(self, sim, rgrid, specs):
+        """A restarted agent must process a retransmitted REQUEST.
+
+        Regression: ``_seen_forwards`` used to survive deactivate(), so a
+        sender retrying a forward across the target's crash window got an
+        ACK (the retransmission was "known") while the request itself was
+        silently discarded as a duplicate — acknowledged but never run.  A
+        restart is a new process with no memory of pre-crash traffic.
+        """
+        a1 = rgrid.agents["A1"]
+        sender = Endpoint("tester", 9999)
+        acks = []
+        rgrid.transport.register(sender, acks.append)
+        envelope = RequestEnvelope(
+            request_id=777,
+            request=TaskRequest(
+                application=specs["sweep3d"].model,
+                environment=Environment.TEST,
+                deadline=sim.now + 500,
+                submit_time=sim.now,
+            ),
+            reply_to=sender,
+        )
+
+        def retransmit():
+            rgrid.transport.send(
+                Message(MessageKind.REQUEST, sender, a1.endpoint, payload=envelope)
+            )
+
+        retransmit()
+        rgrid.run_for(1.0)
+        assert a1.stats.requests_seen == 1
+
+        a1.deactivate()
+        a1.reactivate()
+        retransmit()  # same (sender, request_id, hops) dedup key
+        rgrid.run_for(1.0)
+        assert a1.stats.requests_seen == 2  # processed, not swallowed
+        assert a1.stats.duplicates_ignored == 0
+        assert sum(1 for m in acks if m.kind is MessageKind.ACK) == 2
+
     def test_event_push_restart_does_not_double_subscribe(self, sim, evaluator):
         scheduler = LocalScheduler(
             sim,

@@ -13,6 +13,22 @@ from repro.sim.engine import Engine
 from repro.tasks.task import Environment, TaskRequest
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the checked-in golden traces instead of "
+        "comparing against them (tests/golden/)",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should rewrite the golden traces."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def sim() -> Engine:
     """A fresh discrete-event engine at t = 0."""

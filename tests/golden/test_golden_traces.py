@@ -1,0 +1,93 @@
+"""Golden-trace regression tier: canonical traces match exactly, forever.
+
+Two checked-in traces lock in the system's decision stream end to end:
+
+* ``exp1_seed2003.jsonl`` — Experiment 1 (FIFO, no agents) at the case
+  study seed: the baseline scheduling path.
+* ``exp4_loss02_churn025.jsonl`` — one faulty Experiment 4 cell (20%
+  loss, 25% churn, resilient protocol): drops, crashes, retries, and
+  synthetic results, all attributed.
+
+The comparison is exact, line for line.  A diff here means a behavioural
+change — a routing decision moved, a dispatch slot shifted, a retry
+appeared — and must be either fixed or consciously re-baselined with::
+
+    pytest tests/golden --update-golden
+
+then reviewing the diff like any other code change.  The canonical
+format (``CANONICAL_FIELDS``) keeps traces small and meaningful: decision
+records only, sim-time stamps, sorted JSON keys.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import table2_experiments
+from repro.experiments.experiment4 import (
+    degradation_config,
+    experiment4_base_config,
+    run_degraded,
+)
+from repro.experiments.runner import run_experiment
+from repro.obs import MemorySink, Tracer, canonical_lines
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+REQUESTS = 12
+SEED = 2003
+
+
+def _trace_exp1() -> list:
+    tracer = Tracer(MemorySink())
+    config = table2_experiments(master_seed=SEED, request_count=REQUESTS)[0]
+    run_experiment(config, tracer=tracer)
+    return canonical_lines(tracer.records)
+
+
+def _trace_exp4_cell() -> list:
+    tracer = Tracer(MemorySink())
+    config = degradation_config(
+        experiment4_base_config(master_seed=SEED, request_count=REQUESTS),
+        loss=0.2,
+        churn_rate=0.25,
+        resilient=True,
+    )
+    run_degraded(config, tracer=tracer)
+    return canonical_lines(tracer.records)
+
+
+CASES = {
+    "exp1_seed2003.jsonl": _trace_exp1,
+    "exp4_loss02_churn025.jsonl": _trace_exp4_cell,
+}
+
+
+@pytest.mark.parametrize("filename", sorted(CASES))
+def test_trace_matches_golden(filename, update_golden):
+    path = GOLDEN_DIR / filename
+    lines = CASES[filename]()
+    assert lines, "a traced run must produce canonical records"
+
+    if update_golden:
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return
+
+    assert path.exists(), (
+        f"golden trace {filename} missing — generate it with "
+        "`pytest tests/golden --update-golden`"
+    )
+    expected = path.read_text(encoding="utf-8").splitlines()
+    # Compare prefix first so a diff points at the first divergent decision
+    # instead of drowning it in a length mismatch.
+    for i, (got, want) in enumerate(zip(lines, expected)):
+        assert got == want, (
+            f"{filename}: first divergence at line {i + 1}:\n"
+            f"  expected: {want}\n"
+            f"  got:      {got}"
+        )
+    assert len(lines) == len(expected), (
+        f"{filename}: trace has {len(lines)} canonical records, "
+        f"golden has {len(expected)}"
+    )

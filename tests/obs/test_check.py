@@ -1,0 +1,170 @@
+"""Tests for the trace invariant checker.
+
+Each rule gets a minimal synthetic trace that violates exactly it, plus
+the legitimate near-miss the rule must *not* flag — the checker is only
+trustworthy if it is quiet on correct traces (the full-system fixture in
+``tests/obs/test_live_traces.py`` covers that end-to-end).
+"""
+
+from __future__ import annotations
+
+from repro.obs.check import Violation, check_trace
+from repro.obs.records import (
+    AckSent,
+    AgentDown,
+    AgentUp,
+    EventFired,
+    EvolveStep,
+    LocalSubmit,
+    MessageSent,
+    PortalResult,
+    TaskCompleted,
+    TaskDispatched,
+    TaskQueued,
+)
+
+
+def _rules(violations):
+    return [v.rule for v in violations]
+
+
+class TestClockMonotone:
+    def test_time_going_backwards_is_flagged(self):
+        violations = check_trace([
+            EventFired(t=5.0, label="a", priority=0, seq=0),
+            EventFired(t=4.0, label="b", priority=0, seq=1),
+        ])
+        assert _rules(violations) == ["clock-monotone"]
+        assert violations[0].index == 1
+
+    def test_equal_times_are_fine(self):
+        assert check_trace([
+            EventFired(t=5.0, label="a", priority=0, seq=0),
+            EventFired(t=5.0, label="b", priority=0, seq=1),
+        ]) == []
+
+
+class TestDispatchAfterQueue:
+    def test_dispatch_without_queue_is_flagged(self):
+        violations = check_trace([
+            TaskDispatched(t=1.0, resource="S1", task_id=0, node_ids=(0,),
+                           start=1.0, completion=2.0),
+        ])
+        assert _rules(violations) == ["dispatch-after-queue"]
+
+    def test_start_before_arrival_is_flagged(self):
+        violations = check_trace([
+            TaskQueued(t=5.0, resource="S1", task_id=0),
+            TaskDispatched(t=5.0, resource="S1", task_id=0, node_ids=(0,),
+                           start=4.0, completion=9.0),
+        ])
+        assert "dispatch-after-queue" in _rules(violations)
+
+    def test_start_before_decision_is_flagged(self):
+        violations = check_trace([
+            TaskQueued(t=1.0, resource="S1", task_id=0),
+            TaskDispatched(t=5.0, resource="S1", task_id=0, node_ids=(0,),
+                           start=2.0, completion=9.0),
+        ])
+        assert "dispatch-after-queue" in _rules(violations)
+
+    def test_well_ordered_dispatch_is_quiet(self):
+        assert check_trace([
+            TaskQueued(t=1.0, resource="S1", task_id=0),
+            TaskDispatched(t=5.0, resource="S1", task_id=0, node_ids=(0,),
+                           start=5.0, completion=9.0),
+        ]) == []
+
+
+class TestSendAfterDown:
+    def test_send_inside_down_window_is_flagged(self):
+        violations = check_trace([
+            AgentDown(t=1.0, agent="S4", endpoint="s4.grid:1003"),
+            MessageSent(t=2.0, msg="pull", sender="s4.grid:1003",
+                        recipient="s1.grid:1000", hops=0),
+        ])
+        assert _rules(violations) == ["send-after-down"]
+
+    def test_send_after_restart_is_fine(self):
+        assert check_trace([
+            AgentDown(t=1.0, agent="S4", endpoint="s4.grid:1003"),
+            AgentUp(t=3.0, agent="S4", endpoint="s4.grid:1003"),
+            MessageSent(t=3.0, msg="pull", sender="s4.grid:1003",
+                        recipient="s1.grid:1000", hops=0),
+        ]) == []
+
+    def test_other_senders_unaffected(self):
+        assert check_trace([
+            AgentDown(t=1.0, agent="S4", endpoint="s4.grid:1003"),
+            MessageSent(t=2.0, msg="pull", sender="s1.grid:1000",
+                        recipient="s2.grid:1001", hops=0),
+        ]) == []
+
+
+class TestAckResolution:
+    def test_acked_but_never_resolved_is_flagged(self):
+        violations = check_trace([
+            AckSent(t=1.0, agent="S3", request_id=9, duplicate=False),
+        ])
+        assert _rules(violations) == ["ack-resolution"]
+        assert "request 9" in violations[0].message
+
+    def test_portal_result_resolves(self):
+        assert check_trace([
+            AckSent(t=1.0, agent="S3", request_id=9, duplicate=False),
+            PortalResult(t=8.0, request_id=9, success=False, synthetic=True),
+        ]) == []
+
+    def test_completion_resolves_through_agent_local(self):
+        assert check_trace([
+            AckSent(t=1.0, agent="S3", request_id=9, duplicate=False),
+            TaskQueued(t=1.0, resource="S3", task_id=4),
+            LocalSubmit(t=1.0, agent="S3", request_id=9, task_id=4),
+            TaskDispatched(t=1.0, resource="S3", task_id=4, node_ids=(0,),
+                           start=1.0, completion=7.0),
+            TaskCompleted(t=7.0, resource="S3", task_id=4, completion=7.0),
+        ]) == []
+
+    def test_acking_agent_crash_excuses(self):
+        """The ACKer died holding the forward: silent loss is legitimate."""
+        assert check_trace([
+            AckSent(t=1.0, agent="S3", request_id=9, duplicate=False),
+            AgentDown(t=2.0, agent="S3", endpoint="s3.grid:1002"),
+        ]) == []
+
+    def test_crash_before_the_ack_does_not_excuse(self):
+        violations = check_trace([
+            AgentDown(t=0.5, agent="S3", endpoint="s3.grid:1002"),
+            AgentUp(t=0.8, agent="S3", endpoint="s3.grid:1002"),
+            AckSent(t=1.0, agent="S3", request_id=9, duplicate=False),
+        ])
+        assert _rules(violations) == ["ack-resolution"]
+
+
+class TestEvolveMonotone:
+    def test_rising_best_cost_is_flagged(self):
+        violations = check_trace([
+            EvolveStep(t=1.0, resource="S1", n_tasks=2, generations=3,
+                       best_cost=5.0, history=(4.0, 6.0, 5.0)),
+        ])
+        assert _rules(violations) == ["evolve-monotone"]
+
+    def test_non_increasing_history_is_quiet(self):
+        assert check_trace([
+            EvolveStep(t=1.0, resource="S1", n_tasks=2, generations=3,
+                       best_cost=3.0, history=(4.0, 4.0, 3.0)),
+        ]) == []
+
+
+class TestViolationReporting:
+    def test_str_is_informative(self):
+        violation = Violation("clock-monotone", 4.0, 7, "went backwards")
+        assert str(violation) == "[clock-monotone] t=4.000 #7: went backwards"
+
+    def test_violations_sorted_by_record_index(self):
+        violations = check_trace([
+            AckSent(t=1.0, agent="S3", request_id=9, duplicate=False),
+            EventFired(t=5.0, label="a", priority=0, seq=0),
+            EventFired(t=4.0, label="b", priority=0, seq=1),
+        ])
+        assert [v.index for v in violations] == sorted(v.index for v in violations)

@@ -111,6 +111,49 @@ class TestCommands:
         assert len(parsed["ablation"]) == 2
         assert len(parsed["resilient"]) == 2
 
+    def test_trace_clean_run_with_check(self, capsys):
+        assert main(["trace", "--requests", "12", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "trace records" in out
+        assert "portal.submit" in out and "sched.dispatch" in out
+        assert "rng digest: " in out
+        assert "PASS  all trace invariants hold" in out
+
+    def test_trace_writes_canonical_jsonl(self, capsys, tmp_path):
+        import json as json_mod
+
+        out_path = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "--requests", "12", "--experiment", "1",
+            "--out", str(out_path),
+        ]) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines
+        first = json_mod.loads(lines[0])
+        assert "kind" in first and "t" in first
+        # Canonical stream excludes the bulk kinds.
+        kinds = {json_mod.loads(line)["kind"] for line in lines}
+        assert not kinds & {"sim.event", "net.send", "net.deliver"}
+
+    def test_trace_span_tree(self, capsys):
+        assert main(["trace", "--requests", "12", "--request", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "request 0" in out
+        assert "result t=" in out
+
+    def test_trace_unknown_request_fails(self, capsys):
+        assert main(["trace", "--requests", "12", "--request", "999"]) == 1
+        assert "no trace records for request 999" in capsys.readouterr().out
+
+    def test_trace_degraded_run(self, capsys):
+        assert main([
+            "trace", "--requests", "12", "--loss", "0.2", "--churn", "0.25",
+            "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "net.drop" in out
+        assert "PASS" in out
+
     def test_experiment4_fault_plan_file(self, capsys, tmp_path):
         from repro.net.faults import FaultPlanSpec, LinkFault
 
