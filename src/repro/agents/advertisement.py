@@ -48,6 +48,14 @@ class AdvertisementStrategy(ABC):
     def stop(self) -> None:
         """Cease operating (idempotent)."""
 
+    def snapshot_state(self) -> dict:
+        """Checkpointable strategy state; stateless strategies return ``{}``."""
+        return {}
+
+    def restore_state(self, state: dict, agent: "Agent") -> None:  # noqa: ARG002
+        """Rebuild from :meth:`snapshot_state` without advertising."""
+        return
+
 
 class PeriodicPullStrategy(AdvertisementStrategy):
     """Pull neighbours' service information on a fixed timer (§4.1).
@@ -87,6 +95,35 @@ class PeriodicPullStrategy(AdvertisementStrategy):
             self._process.stop()
             self._process = None
 
+    def snapshot_state(self) -> dict:
+        """The pull process state, or ``None`` while stopped."""
+        return {
+            "process": (
+                None if self._process is None else self._process.snapshot_state()
+            )
+        }
+
+    def restore_state(self, state: dict, agent: "Agent") -> None:
+        """Re-create the pull process at its snapshot position, silently.
+
+        Unlike :meth:`start`, no immediate pull fires — the snapshot's
+        pending-event descriptor already encodes the next pull.
+        """
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+        if state["process"] is None:
+            return
+        self._process = PeriodicProcess(
+            agent.sim,
+            self._interval,
+            agent.pull_neighbours,
+            priority=Priority.ADVERTISEMENT,
+            fire_immediately=True,
+            label=f"pull-{agent.name}",
+        )
+        self._process.restore_state(state["process"])
+
 
 class EventPushStrategy(AdvertisementStrategy):
     """Push service information to neighbours whenever it changes.
@@ -110,11 +147,11 @@ class EventPushStrategy(AdvertisementStrategy):
             raise ValidationError("strategy already started")
         if self._agent is not None and agent is not self._agent:
             raise ValidationError("strategy already bound to another agent")
-        if self._agent is None:
-            # Subscribe exactly once: a crash/restart cycle re-enters
-            # start() with the callback still registered, and subscribing
-            # again would double every subsequent push.
-            agent.scheduler.on_service_change(self._maybe_push)
+        # Subscribe on every (re)start; stop() unsubscribes, so exactly one
+        # registration is live while active and none while stopped — a
+        # crash/restart cycle neither leaks a stale closure nor doubles
+        # subsequent pushes.
+        agent.scheduler.on_service_change(self._maybe_push)
         self._agent = agent
         self._active = True
         # Seed neighbours with an initial advertisement.
@@ -122,6 +159,8 @@ class EventPushStrategy(AdvertisementStrategy):
         self._last_push = agent.sim.now
 
     def stop(self) -> None:
+        if self._active and self._agent is not None:
+            self._agent.scheduler.off_service_change(self._maybe_push)
         self._active = False
 
     def _maybe_push(self) -> None:
@@ -131,6 +170,22 @@ class EventPushStrategy(AdvertisementStrategy):
         if now - self._last_push >= self._min_interval:
             self._last_push = now
             self._agent.push_to_neighbours()
+
+    def snapshot_state(self) -> dict:
+        """Activity flag and rate-limit clock (``None`` = never pushed)."""
+        last = None if self._last_push == float("-inf") else self._last_push
+        return {"active": self._active, "last_push": last}
+
+    def restore_state(self, state: dict, agent: "Agent") -> None:
+        """Rebind and re-subscribe (when active) without pushing."""
+        if self._active and self._agent is not None:
+            self._agent.scheduler.off_service_change(self._maybe_push)
+        self._agent = agent
+        self._active = bool(state["active"])
+        last = state["last_push"]
+        self._last_push = float("-inf") if last is None else float(last)
+        if self._active:
+            agent.scheduler.on_service_change(self._maybe_push)
 
 
 class NoAdvertisement(AdvertisementStrategy):

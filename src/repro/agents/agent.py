@@ -691,6 +691,139 @@ class Agent:
             )
         )
 
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Registries, routing memory, resilience state, and liveness.
+
+        The reply map references tasks by id (the scheduler owns the task
+        table); pending forwards carry their ack-timeout event descriptors
+        so restore re-creates the exact timers.
+        """
+        from repro.checkpoint.codec import (
+            encode_endpoint,
+            encode_envelope,
+            encode_service_info,
+        )
+
+        return {
+            "active": self._active,
+            "registry": [
+                [encode_endpoint(ep), encode_service_info(info)]
+                for ep, info in sorted(self._registry.items())
+            ],
+            "registry_time": [
+                [encode_endpoint(ep), t]
+                for ep, t in sorted(self._registry_time.items())
+            ],
+            "reply_to": {
+                str(tid): encode_envelope(env)
+                for tid, env in sorted(self._reply_to.items())
+            },
+            "stats": {f.name: getattr(self._stats, f.name) for f in fields(self._stats)},
+            "outcomes": [
+                {
+                    "request_id": rid,
+                    "decision": outcome.decision.value,
+                    "target": (
+                        None
+                        if outcome.target is None
+                        else encode_endpoint(outcome.target)
+                    ),
+                    "estimate": outcome.estimate,
+                    "reason": outcome.reason,
+                }
+                for rid, outcome in self._outcomes
+            ],
+            "pending_acks": {
+                str(rid): {
+                    "envelope": encode_envelope(p.envelope),
+                    "hops": p.hops,
+                    "target": encode_endpoint(p.target),
+                    "attempt": p.attempt,
+                    "tried": [encode_endpoint(ep) for ep in sorted(p.tried)],
+                    "event": p.handle.descriptor(),
+                }
+                for rid, p in sorted(self._pending_acks.items())
+            },
+            "seen_forwards": [
+                [encode_endpoint(ep), rid, hops]
+                for ep, rid, hops in sorted(self._seen_forwards)
+            ],
+            "advertisement": self._advertisement.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict, *, applications) -> None:
+        """Rebuild from a snapshot without emitting lifecycle trace records.
+
+        Must run on a freshly built (registered, active, not-yet-started)
+        agent.  An agent snapshot mid-crash unregisters silently — the
+        down/up records already sit in the pre-checkpoint trace, so
+        re-emitting them here would duplicate history.
+        """
+        from repro.checkpoint.codec import (
+            decode_endpoint,
+            decode_envelope,
+            decode_service_info,
+        )
+
+        self._registry = {
+            decode_endpoint(ep): decode_service_info(info)
+            for ep, info in state["registry"]
+        }
+        self._registry_time = {
+            decode_endpoint(ep): float(t) for ep, t in state["registry_time"]
+        }
+        self._reply_to = {
+            int(tid): decode_envelope(raw, applications)
+            for tid, raw in state["reply_to"].items()
+        }
+        for f in fields(self._stats):
+            setattr(self._stats, f.name, int(state["stats"][f.name]))
+        self._outcomes = [
+            (
+                int(raw["request_id"]),
+                DiscoveryOutcome(
+                    decision=Decision(raw["decision"]),
+                    target=(
+                        None
+                        if raw["target"] is None
+                        else decode_endpoint(raw["target"])
+                    ),
+                    estimate=float(raw["estimate"]),
+                    reason=str(raw["reason"]),
+                ),
+            )
+            for raw in state["outcomes"]
+        ]
+        self._seen_forwards = {
+            (decode_endpoint(ep), int(rid), int(hops))
+            for ep, rid, hops in state["seen_forwards"]
+        }
+        for pending in self._pending_acks.values():
+            pending.handle.cancel()
+        self._pending_acks = {}
+        for rid, raw in state["pending_acks"].items():
+            request_id = int(rid)
+            handle = self.sim.restore_event(
+                raw["event"], lambda r=request_id: self._on_ack_timeout(r)
+            )
+            self._pending_acks[request_id] = _PendingForward(
+                envelope=decode_envelope(raw["envelope"], applications),
+                hops=int(raw["hops"]),
+                target=decode_endpoint(raw["target"]),
+                attempt=int(raw["attempt"]),
+                tried=frozenset(decode_endpoint(ep) for ep in raw["tried"]),
+                handle=handle,
+            )
+        self._advertisement.restore_state(state["advertisement"], self)
+        was_active = bool(state["active"])
+        if not was_active and self._active:
+            # Crash state, silently: no trace records, no timer churn.
+            self._active = False
+            if self._transport.is_registered(self._endpoint):
+                self._transport.unregister(self._endpoint)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         role = "head" if self.is_head else "node"
         return f"Agent({self._name!r}, {role}, children={len(self._children)})"

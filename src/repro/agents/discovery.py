@@ -74,6 +74,21 @@ class DiscoveryOutcome:
     reason: str
 
 
+def _best_effort_key(kv):
+    """Deterministic order for best-effort candidates: ``(eta, is_remote, endpoint)``.
+
+    Lower ETA wins; on an exact ETA tie the local service (``None`` key)
+    beats any remote one, and remote ties break on ``(address, port)``.
+    The endpoint component is only compared between two *remote*
+    candidates — at most one candidate is local — so ``None`` never needs
+    a sort stand-in.
+    """
+    endpoint, match = kv
+    is_remote = endpoint is not None
+    endpoint_key = (endpoint.address, endpoint.port) if is_remote else ("", 0)
+    return (match.eta, is_remote, endpoint_key)
+
+
 def discover(
     local: MatchResult,
     neighbours: Mapping[Endpoint, MatchResult],
@@ -157,10 +172,7 @@ def discover(
         return DiscoveryOutcome(
             Decision.REJECT, None, float("inf"), "no service supports environment"
         )
-    best_ep, best_match = min(
-        candidates.items(),
-        key=lambda kv: (kv[1].eta, kv[0] is not None, kv[0] or Endpoint("~", 1)),
-    )
+    best_ep, best_match = min(candidates.items(), key=_best_effort_key)
     if best_ep is None:
         return DiscoveryOutcome(
             Decision.LOCAL, None, best_match.eta, "best effort at hierarchy head"

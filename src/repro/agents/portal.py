@@ -53,7 +53,11 @@ class PortalStats:
 
 @dataclass
 class _PendingSubmit:
-    """One submitted request awaiting its entry agent's ACK."""
+    """One submitted request awaiting its entry agent's ACK.
+
+    Also reused for backoff redispatches, where *attempt* is the attempt
+    number the pending ``portal-redispatch`` event will dispatch with.
+    """
 
     target: Endpoint
     attempt: int
@@ -95,6 +99,7 @@ class UserPortal:
         self._submitted: Dict[int, RequestEnvelope] = {}
         self._results: Dict[int, TaskResult] = {}
         self._pending: Dict[int, _PendingSubmit] = {}
+        self._redispatches: Dict[int, _PendingSubmit] = {}
         self._stats = PortalStats()
         transport.register(endpoint, self._handle_message)
 
@@ -258,16 +263,20 @@ class UserPortal:
                 )
             )
         if delay > 0:
-            self._sim.schedule_in(
+            handle = self._sim.schedule_in(
                 delay,
                 lambda: self._redispatch(request_id, target, next_attempt),
                 priority=Priority.MONITORING,
                 label=f"portal-redispatch-{request_id}",
             )
+            self._redispatches[request_id] = _PendingSubmit(
+                target, next_attempt, handle
+            )
         else:
             self._dispatch(request_id, target, next_attempt)
 
     def _redispatch(self, request_id: int, target: Endpoint, attempt: int) -> None:
+        self._redispatches.pop(request_id, None)
         if request_id in self._results:
             return  # resolved while the backoff timer ran
         self._dispatch(request_id, target, attempt)
@@ -299,6 +308,98 @@ class UserPortal:
                 "email": request.email,
             }
         )
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Every submission, result, and pending timer, JSON-ready.
+
+        Resolved-but-still-armed redispatch events are serialized too:
+        the uninterrupted run fires them as no-ops, and a resumed run
+        must fire the same events to keep the engine's event accounting
+        identical.
+        """
+        from repro.checkpoint.codec import (
+            encode_endpoint,
+            encode_envelope,
+            encode_task_result,
+        )
+
+        def encode_timers(timers: Dict[int, _PendingSubmit]) -> list:
+            return [
+                {
+                    "request_id": rid,
+                    "target": encode_endpoint(p.target),
+                    "attempt": p.attempt,
+                    "event": p.handle.descriptor(),
+                }
+                for rid, p in sorted(timers.items())
+                if not p.handle.cancelled
+            ]
+
+        return {
+            "next_request_id": self._next_request_id,
+            "submitted": [
+                [rid, encode_envelope(env)]
+                for rid, env in sorted(self._submitted.items())
+            ],
+            "results": [
+                [rid, encode_task_result(result)]
+                for rid, result in sorted(self._results.items())
+            ],
+            "pending": encode_timers(self._pending),
+            "redispatches": encode_timers(self._redispatches),
+            "stats": {f.name: getattr(self._stats, f.name) for f in fields(self._stats)},
+        }
+
+    def restore_state(self, state: dict, *, applications) -> None:
+        """Rebuild submissions and re-arm ACK/backoff timers from a snapshot.
+
+        *applications* maps application names to their
+        :class:`~repro.pace.application.ApplicationModel` instances in the
+        rebuilt grid, so decoded requests share model identity with the
+        schedulers that will evaluate them.
+        """
+        from repro.checkpoint.codec import (
+            decode_endpoint,
+            decode_envelope,
+            decode_task_result,
+        )
+
+        self._next_request_id = int(state["next_request_id"])
+        self._submitted = {
+            int(rid): decode_envelope(env, applications)
+            for rid, env in state["submitted"]
+        }
+        self._results = {
+            int(rid): decode_task_result(result) for rid, result in state["results"]
+        }
+        for p in self._pending.values():
+            p.handle.cancel()
+        self._pending = {}
+        for entry in state["pending"]:
+            rid = int(entry["request_id"])
+            handle = self._sim.restore_event(
+                entry["event"], lambda r=rid: self._on_ack_timeout(r)
+            )
+            self._pending[rid] = _PendingSubmit(
+                decode_endpoint(entry["target"]), int(entry["attempt"]), handle
+            )
+        for p in self._redispatches.values():
+            p.handle.cancel()
+        self._redispatches = {}
+        for entry in state["redispatches"]:
+            rid = int(entry["request_id"])
+            target = decode_endpoint(entry["target"])
+            attempt = int(entry["attempt"])
+            handle = self._sim.restore_event(
+                entry["event"],
+                lambda r=rid, t=target, a=attempt: self._redispatch(r, t, a),
+            )
+            self._redispatches[rid] = _PendingSubmit(target, attempt, handle)
+        stats = state["stats"]
+        for f in fields(self._stats):
+            setattr(self._stats, f.name, int(stats[f.name]))
 
     # --------------------------------------------------------------- messages
 

@@ -140,6 +140,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the trace invariant checker; exit non-zero "
                        "on any violation")
 
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run an experiment for N events, then write a resumable snapshot",
+    )
+    checkpoint.add_argument("--requests", type=int, default=60)
+    checkpoint.add_argument("--seed", type=int, default=2003)
+    checkpoint.add_argument("--experiment", type=int, choices=(1, 2, 3), default=3,
+                            help="which Table 2 configuration to run "
+                            "(ignored when --loss/--churn select the "
+                            "degraded runner)")
+    checkpoint.add_argument("--loss", type=float, default=0.0, metavar="P",
+                            help="per-message drop probability (switches to "
+                            "the resilient experiment-4 runner)")
+    checkpoint.add_argument("--churn", type=float, default=0.0, metavar="R",
+                            help="fraction of non-head agents crashed once "
+                            "(switches to the resilient experiment-4 runner)")
+    checkpoint.add_argument("--at-step", type=int, default=1000, metavar="N",
+                            help="number of simulation events to run before "
+                            "snapshotting")
+    checkpoint.add_argument("--out", metavar="PATH", required=True,
+                            help="snapshot file to write")
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume a snapshot (experiment, degraded, or soak) to completion",
+    )
+    resume.add_argument("snapshot", metavar="PATH", help="snapshot file to resume")
+    resume.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="keep re-snapshotting every N events while "
+                        "resuming (experiment/degraded kinds)")
+    resume.add_argument("--checkpoint-path", metavar="PATH", default=None,
+                        help="where the periodic re-snapshots go")
+
+    soak = sub.add_parser(
+        "soak",
+        help="long-horizon soak run: continuous arrivals, windowed metrics",
+    )
+    soak.add_argument("--requests", type=int, default=6000)
+    soak.add_argument("--seed", type=int, default=2003)
+    soak.add_argument("--window", type=float, default=2000.0, metavar="SECONDS",
+                      help="width of each metrics window in simulated time")
+    soak.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="rewrite a resumable snapshot at every window "
+                      "boundary")
+
     workload = sub.add_parser("workload", help="inspect the seeded workload")
     workload.add_argument("--requests", type=int, default=600)
     workload.add_argument("--seed", type=int, default=2003)
@@ -407,6 +452,124 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _checkpoint_config(args):
+    """The experiment configuration a ``checkpoint`` invocation describes."""
+    if args.loss or args.churn:
+        from repro.experiments.experiment4 import (
+            degradation_config,
+            experiment4_base_config,
+        )
+
+        return degradation_config(
+            experiment4_base_config(
+                master_seed=args.seed, request_count=args.requests
+            ),
+            loss=args.loss,
+            churn_rate=args.churn,
+            resilient=True,
+        )
+    return table2_experiments(
+        master_seed=args.seed, request_count=args.requests
+    )[args.experiment - 1]
+
+
+def _cmd_checkpoint(args) -> int:
+    config = _checkpoint_config(args)
+    degraded = bool(args.loss or args.churn)
+    print(f"Running {config.name} for {args.at_step} events "
+          f"(seed {args.seed})...", file=sys.stderr)
+    if degraded:
+        from repro.experiments.experiment4 import checkpoint_degraded
+
+        digest = checkpoint_degraded(config, at_step=args.at_step, path=args.out)
+    else:
+        from repro.experiments.runner import checkpoint_experiment
+
+        digest = checkpoint_experiment(config, at_step=args.at_step, path=args.out)
+    print(f"wrote {args.out}")
+    print(f"sha256: {digest}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.checkpoint import read_snapshot
+    from repro.metrics.reporting import render_table3
+
+    payload = read_snapshot(args.snapshot)
+    kind = payload.get("kind")
+    print(f"Resuming {kind} snapshot {args.snapshot} "
+          f"(step {payload.get('steps')})...", file=sys.stderr)
+    if kind == "experiment":
+        from repro.experiments.runner import resume_experiment
+
+        result = resume_experiment(
+            args.snapshot,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
+        )
+    elif kind == "degraded":
+        from repro.experiments.experiment4 import resume_degraded
+
+        result = resume_degraded(
+            args.snapshot,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
+        ).result
+    elif kind == "soak":
+        from repro.experiments.soak import resume_soak
+
+        soak = resume_soak(args.snapshot)
+        _print_soak(soak)
+        return 0
+    else:
+        print(f"unknown snapshot kind {kind!r}", file=sys.stderr)
+        return 1
+    print(render_table3([result.metrics], title=f"{result.config.name} (resumed)"))
+    print(f"records: {len(result.records)}, rejected: {result.rejected_count}")
+    print(f"rng digest: {result.rng_digest}")
+    return 0
+
+
+def _print_soak(result) -> None:
+    rows = [
+        [str(w.index), f"{w.start:.0f}", f"{w.end:.0f}", str(w.completed),
+         str(w.failed), str(w.deadline_met), f"{w.mean_response:.1f}",
+         f"{w.throughput * 1000:.2f}"]
+        for w in result.windows
+    ]
+    print(render_table(
+        ["win", "start", "end", "done", "failed", "on-time", "mean resp (s)",
+         "thru (/1000s)"],
+        rows,
+        title=f"{result.config.name}: {result.total_completed} completed, "
+        f"{result.total_failed} failed over {result.horizon:.0f}s",
+    ))
+    print(f"steps: {result.steps}, rng digest: {result.rng_digest}")
+
+
+def _cmd_soak(args) -> int:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.soak import run_soak
+    from repro.scheduling.scheduler import SchedulingPolicy
+
+    config = ExperimentConfig(
+        name=f"soak-{args.requests}",
+        policy=SchedulingPolicy.GA,
+        agents_enabled=True,
+        request_count=args.requests,
+        master_seed=args.seed,
+    )
+    print(f"Soaking {args.requests} requests (seed {args.seed}, "
+          f"window {args.window:.0f}s)...", file=sys.stderr)
+    result = run_soak(
+        config, window_seconds=args.window, checkpoint_path=args.checkpoint
+    )
+    _print_soak(result)
+    if args.checkpoint:
+        print(f"checkpoints rewritten at {args.checkpoint}", file=sys.stderr)
+    return 0
+
+
 def _cmd_workload(requests: int, seed: int, head: int) -> None:
     from repro.experiments.casestudy import case_study_topology
 
@@ -469,6 +632,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             only=args.only)
     elif args.command == "trace":
         return _cmd_trace(args)
+    elif args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+    elif args.command == "resume":
+        return _cmd_resume(args)
+    elif args.command == "soak":
+        return _cmd_soak(args)
     elif args.command == "workload":
         _cmd_workload(args.requests, args.seed, args.head)
     elif args.command == "predict":

@@ -24,6 +24,7 @@ __all__ = [
     "DiscoveryError",
     "HierarchyError",
     "ExperimentError",
+    "CheckpointError",
 ]
 
 
@@ -85,3 +86,7 @@ class HierarchyError(AgentError):
 
 class ExperimentError(ReproError):
     """An experiment configuration or run is invalid."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint snapshot is malformed, corrupt, or incompatible."""

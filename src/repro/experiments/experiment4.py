@@ -30,7 +30,10 @@ from repro.experiments.runner import (
     MAX_EVENTS,
     ExperimentResult,
     GridSystem,
+    _rebuild_from_payload,
     build_grid,
+    tolerant_submitter,
+    write_checkpoint,
 )
 from repro.experiments.workload import WorkloadItem, generate_workload
 from repro.metrics.balancing import compute_metrics
@@ -57,6 +60,8 @@ __all__ = [
     "degradation_config",
     "experiment4_base_config",
     "run_degraded",
+    "checkpoint_degraded",
+    "resume_degraded",
     "run_experiment4",
 ]
 
@@ -147,6 +152,8 @@ def run_degraded(
     *,
     workload: Optional[List[WorkloadItem]] = None,
     tracer: Optional["Tracer"] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> DegradedRun:
     """Run *config* under its fault plan and churn schedule to a horizon.
 
@@ -159,6 +166,9 @@ def run_degraded(
     2. a final drain with periodics stopped and leftover churn handles
        cancelled, letting in-flight completions, retries, and ack
        timeouts resolve — the queue is finite once nothing re-arms.
+
+    With ``checkpoint_every``/``checkpoint_path``, phase 1 writes a
+    resumable snapshot every N events (see :func:`resume_degraded`).
     """
     t_wall = time.perf_counter()
     system = build_grid(config, topology, tracer=tracer)
@@ -174,15 +184,17 @@ def run_degraded(
         )
     )
     system.start()
-    for item in items:
-        system.sim.schedule(
+    arrivals = {
+        index: system.sim.schedule(
             item.submit_time,
-            _tolerant_submitter(system, item),
+            tolerant_submitter(system, item),
             priority=Priority.ARRIVAL,
             label=f"arrival-{item.application}",
         )
+        for index, item in enumerate(items)
+    }
     crashes = restarts = 0
-    churn_handles = []
+    churn_events: List[Tuple[str, str, object]] = []
     if config.churn is not None and config.churn.rate > 0:
         schedule = ChurnSchedule.generate(
             system.topology.agent_names,
@@ -195,16 +207,180 @@ def run_degraded(
         for event in schedule:
             agent = system.agents[event.agent]
             action = agent.deactivate if event.action == "crash" else agent.reactivate
-            churn_handles.append(
-                system.sim.schedule(
-                    event.time,
-                    action,
-                    priority=Priority.MONITORING,
-                    label=f"churn-{event.action}-{event.agent}",
+            churn_events.append(
+                (
+                    event.agent,
+                    event.action,
+                    system.sim.schedule(
+                        event.time,
+                        action,
+                        priority=Priority.MONITORING,
+                        label=f"churn-{event.action}-{event.agent}",
+                    ),
                 )
             )
+    return _drive_degraded(
+        system,
+        items,
+        arrivals,
+        churn_events,
+        crashes=crashes,
+        restarts=restarts,
+        steps=0,
+        t_wall=t_wall,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def checkpoint_degraded(
+    config: ExperimentConfig,
+    topology: Optional[GridTopology] = None,
+    *,
+    workload: Optional[List[WorkloadItem]] = None,
+    tracer: Optional["Tracer"] = None,
+    at_step: int,
+    path: str,
+) -> str:
+    """Run a degraded experiment for *at_step* events, snapshot, stop.
+
+    The counterpart of :func:`~repro.experiments.runner.checkpoint_experiment`
+    for faulty/churny runs; :func:`resume_degraded` continues the written
+    file.  Returns the snapshot digest.
+    """
+    if at_step < 1:
+        raise ExperimentError(f"at_step must be >= 1, got {at_step}")
+    system = build_grid(config, topology, tracer=tracer)
+    items = (
+        workload
+        if workload is not None
+        else generate_workload(
+            system.topology.agent_names,
+            system.specs,
+            count=config.request_count,
+            interval=config.request_interval,
+            master_seed=config.master_seed,
+        )
+    )
+    system.start()
+    arrivals = {
+        index: system.sim.schedule(
+            item.submit_time,
+            tolerant_submitter(system, item),
+            priority=Priority.ARRIVAL,
+            label=f"arrival-{item.application}",
+        )
+        for index, item in enumerate(items)
+    }
+    crashes = restarts = 0
+    churn_events: List[Tuple[str, str, object]] = []
+    if config.churn is not None and config.churn.rate > 0:
+        schedule = ChurnSchedule.generate(
+            system.topology.agent_names,
+            config.churn,
+            config.request_phase_seconds,
+            RngRegistry(config.master_seed).stream("churn"),
+            head=system.hierarchy.head.name,
+        )
+        crashes, restarts = schedule.crash_count, schedule.restart_count
+        for event in schedule:
+            agent = system.agents[event.agent]
+            action = agent.deactivate if event.action == "crash" else agent.reactivate
+            churn_events.append(
+                (
+                    event.agent,
+                    event.action,
+                    system.sim.schedule(
+                        event.time,
+                        action,
+                        priority=Priority.MONITORING,
+                        label=f"churn-{event.action}-{event.agent}",
+                    ),
+                )
+            )
+    for steps in range(1, at_step + 1):
+        if not system.sim.step():
+            raise ExperimentError(
+                f"run finished after {steps - 1} events, before at_step={at_step}"
+            )
+    return write_checkpoint(
+        path,
+        system,
+        items,
+        arrivals,
+        at_step,
+        kind="degraded",
+        extra={
+            "churn": [
+                {"agent": agent, "action": action, "event": handle.descriptor()}
+                for agent, action, handle in churn_events
+                if handle.pending
+            ],
+            "crashes": crashes,
+            "restarts": restarts,
+        },
+    )
+
+
+def resume_degraded(
+    path: str,
+    *,
+    tracer: Optional["Tracer"] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+) -> DegradedRun:
+    """Resume a degraded run from a snapshot written by :func:`run_degraded`.
+
+    Pending churn timers are re-created alongside the component state, so
+    not-yet-fired crashes and restarts land at their original instants;
+    the continuation is byte-identical to the uninterrupted run.
+    """
+    from repro.checkpoint.format import read_snapshot
+
+    t_wall = time.perf_counter()
+    payload = read_snapshot(path)
+    system, items, arrivals = _rebuild_from_payload(payload, "degraded", tracer)
+    churn_events: List[Tuple[str, str, object]] = []
+    for entry in payload["churn"]:
+        agent = system.agents[str(entry["agent"])]
+        action = agent.deactivate if entry["action"] == "crash" else agent.reactivate
+        churn_events.append(
+            (
+                str(entry["agent"]),
+                str(entry["action"]),
+                system.sim.restore_event(entry["event"], action),
+            )
+        )
+    return _drive_degraded(
+        system,
+        items,
+        arrivals,
+        churn_events,
+        crashes=int(payload["crashes"]),
+        restarts=int(payload["restarts"]),
+        steps=int(payload["steps"]),
+        t_wall=t_wall,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def _drive_degraded(
+    system: GridSystem,
+    items: List[WorkloadItem],
+    arrivals,
+    churn_events,
+    *,
+    crashes: int,
+    restarts: int,
+    steps: int,
+    t_wall: float,
+    checkpoint_every: Optional[int],
+    checkpoint_path: Optional[str],
+) -> DegradedRun:
+    if checkpoint_every is not None and checkpoint_path is None:
+        raise ExperimentError("checkpoint_every requires checkpoint_path")
     horizon = max(item.deadline for item in items)
-    steps = 0
 
     def resolved() -> bool:
         return (
@@ -220,7 +396,29 @@ def run_degraded(
         steps += 1
         if steps > MAX_EVENTS:
             raise ExperimentError(f"experiment exceeded {MAX_EVENTS} events")
-    for handle in churn_handles:
+        if checkpoint_every is not None and steps % checkpoint_every == 0:
+            write_checkpoint(
+                checkpoint_path,
+                system,
+                items,
+                arrivals,
+                steps,
+                kind="degraded",
+                extra={
+                    "churn": [
+                        {
+                            "agent": agent,
+                            "action": action,
+                            "event": handle.descriptor(),
+                        }
+                        for agent, action, handle in churn_events
+                        if handle.pending
+                    ],
+                    "crashes": crashes,
+                    "restarts": restarts,
+                },
+            )
+    for _, _, handle in churn_events:
         handle.cancel()
     system.stop()
     # Final drain: with periodics and churn off, only completions, retry
@@ -241,7 +439,7 @@ def run_degraded(
         nodes[name] = scheduler.resource.size
     metrics = compute_metrics(records, busy, nodes, horizon=max(system.sim.now, 1e-9))
     result = ExperimentResult(
-        config=config,
+        config=system.config,
         metrics=metrics,
         records=records,
         workload=items,
@@ -274,25 +472,6 @@ def run_degraded(
         restarts=restarts,
         fault_dropped=plan.dropped_count if plan is not None else 0,
     )
-
-
-def _tolerant_submitter(system: GridSystem, item: WorkloadItem):
-    """Like the strict runner's submitter, but a crashed entry agent does
-    not abort the run: the request registers, the send is lost, and the
-    request counts as unresolved unless the portal's own retry machinery
-    (when enabled) recovers it."""
-
-    def submit() -> None:
-        try:
-            system.portal.submit(
-                system.agents[item.agent_name],
-                system.specs[item.application].model,
-                Environment.TEST,
-                item.deadline,
-            )
-        except TransportError:
-            pass
-    return submit
 
 
 @dataclass(frozen=True)

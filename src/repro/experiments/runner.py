@@ -23,7 +23,7 @@ from repro.agents.advertisement import (
 from repro.agents.agent import Agent, AgentStats
 from repro.agents.hierarchy import Hierarchy, wire_hierarchy
 from repro.agents.portal import UserPortal
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, TransportError
 from repro.experiments.casestudy import GridTopology, case_study_topology
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workload import WorkloadItem, generate_workload
@@ -44,7 +44,15 @@ from repro.tasks.execution import ExecutionMode
 from repro.tasks.task import Environment
 from repro.utils.rng import RngRegistry
 
-__all__ = ["GridSystem", "ExperimentResult", "build_grid", "run_experiment"]
+__all__ = [
+    "GridSystem",
+    "ExperimentResult",
+    "build_grid",
+    "run_experiment",
+    "checkpoint_experiment",
+    "resume_experiment",
+    "write_checkpoint",
+]
 
 #: Hard ceiling on simulation events per experiment — a liveness backstop,
 #: far above any legitimate run (the full case study fires ~10^5 events).
@@ -212,12 +220,19 @@ def run_experiment(
     *,
     workload: Optional[List[WorkloadItem]] = None,
     tracer: Optional[Tracer] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment to completion and compute the §3.3 metrics.
 
     The run finishes when every submitted request has produced a result
     (execution completed, or rejection in strict mode) — the paper measures
     final scheduling scenarios, not a truncated horizon.
+
+    With ``checkpoint_every=N`` (events) and ``checkpoint_path``, the run
+    writes a resumable snapshot every N processed events; resuming it via
+    :func:`resume_experiment` continues byte-identical to the uninterrupted
+    run (property-tested).
     """
     t_wall = time.perf_counter()
     system = build_grid(config, topology, tracer=tracer)
@@ -233,14 +248,126 @@ def run_experiment(
         )
     )
     system.start()
-    for item in items:
-        system.sim.schedule(
+    arrivals = {
+        index: system.sim.schedule(
             item.submit_time,
             _submitter(system, item),
             priority=Priority.ARRIVAL,
             label=f"arrival-{item.application}",
         )
-    steps = 0
+        for index, item in enumerate(items)
+    }
+    return _drive_experiment(
+        system,
+        items,
+        arrivals,
+        steps=0,
+        t_wall=t_wall,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def checkpoint_experiment(
+    config: ExperimentConfig,
+    topology: Optional[GridTopology] = None,
+    *,
+    workload: Optional[List[WorkloadItem]] = None,
+    tracer: Optional[Tracer] = None,
+    at_step: int,
+    path: str,
+) -> str:
+    """Run a strict experiment for exactly *at_step* events, snapshot, stop.
+
+    The abandoned half-run is discarded; :func:`resume_experiment` on the
+    written file continues it to completion.  Returns the snapshot digest.
+
+    Raises
+    ------
+    ExperimentError
+        If the run's event queue drains before *at_step* events fire.
+    """
+    if at_step < 1:
+        raise ExperimentError(f"at_step must be >= 1, got {at_step}")
+    system = build_grid(config, topology, tracer=tracer)
+    items = (
+        workload
+        if workload is not None
+        else generate_workload(
+            system.topology.agent_names,
+            system.specs,
+            count=config.request_count,
+            interval=config.request_interval,
+            master_seed=config.master_seed,
+        )
+    )
+    system.start()
+    arrivals = {
+        index: system.sim.schedule(
+            item.submit_time,
+            _submitter(system, item),
+            priority=Priority.ARRIVAL,
+            label=f"arrival-{item.application}",
+        )
+        for index, item in enumerate(items)
+    }
+    for steps in range(1, at_step + 1):
+        if not system.sim.step():
+            raise ExperimentError(
+                f"run finished after {steps - 1} events, before at_step={at_step}"
+            )
+    return write_checkpoint(path, system, items, arrivals, at_step)
+
+
+def resume_experiment(
+    path: str,
+    *,
+    tracer: Optional[Tracer] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+) -> ExperimentResult:
+    """Resume a strict experiment from a snapshot written by :func:`run_experiment`.
+
+    The grid is rebuilt from the snapshot's own configuration and
+    topology, every component is rewound, pending arrival events are
+    re-created with their original identities, and the run continues to
+    completion.  Everything downstream of the snapshot instant —
+    completion records, metrics, trace records, the final RNG digest —
+    is byte-identical to the uninterrupted run.
+    """
+    from repro.checkpoint.format import read_snapshot
+
+    t_wall = time.perf_counter()
+    payload = read_snapshot(path)
+    system, items, arrivals = _rebuild_from_payload(payload, "experiment", tracer)
+    return _drive_experiment(
+        system,
+        items,
+        arrivals,
+        steps=int(payload["steps"]),
+        t_wall=t_wall,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def _drive_experiment(
+    system: GridSystem,
+    items: List[WorkloadItem],
+    arrivals: Dict[int, "object"],
+    *,
+    steps: int,
+    t_wall: float,
+    checkpoint_every: Optional[int],
+    checkpoint_path: Optional[str],
+) -> ExperimentResult:
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ExperimentError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            raise ExperimentError("checkpoint_every requires checkpoint_path")
     while system.portal.pending_count > 0 or system.portal.submitted_count < len(items):
         if not system.sim.step():
             raise ExperimentError(
@@ -250,8 +377,87 @@ def run_experiment(
         steps += 1
         if steps > MAX_EVENTS:
             raise ExperimentError(f"experiment exceeded {MAX_EVENTS} events")
+        if checkpoint_every is not None and steps % checkpoint_every == 0:
+            write_checkpoint(checkpoint_path, system, items, arrivals, steps)
     system.stop()
+    return _collect_result(system, items, t_wall)
 
+
+def write_checkpoint(
+    path: str,
+    system: GridSystem,
+    items: List[WorkloadItem],
+    arrivals: Dict[int, "object"],
+    steps: int,
+    *,
+    kind: str = "experiment",
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write one resumable snapshot of a running experiment; returns its digest."""
+    from repro.checkpoint.format import write_snapshot
+    from repro.checkpoint.snapshot import (
+        encode_config,
+        encode_topology,
+        encode_workload_item,
+        snapshot_system,
+    )
+
+    payload: Dict[str, object] = {
+        "kind": kind,
+        "config": encode_config(system.config),
+        "topology": encode_topology(system.topology),
+        "workload": [encode_workload_item(item) for item in items],
+        "steps": steps,
+        "arrivals": [
+            {"index": index, "event": handle.descriptor()}
+            for index, handle in sorted(arrivals.items())
+            if handle.pending
+        ],
+        "system": snapshot_system(system),
+    }
+    if extra:
+        payload.update(extra)
+    return write_snapshot(path, payload)
+
+
+def _rebuild_from_payload(payload, expected_kind: str, tracer: Optional[Tracer]):
+    """Rebuild the grid for *payload*, restore it, and re-arm arrivals.
+
+    Shared by every resume entry point; the submit callback is the strict
+    one for ``"experiment"`` snapshots and the fault-tolerant one
+    otherwise (degraded/soak runs must survive a crashed entry agent).
+    """
+    from repro.errors import CheckpointError
+    from repro.checkpoint.snapshot import (
+        decode_config,
+        decode_topology,
+        decode_workload_item,
+        restore_system,
+    )
+
+    kind = payload.get("kind")
+    if kind != expected_kind:
+        raise CheckpointError(
+            f"snapshot is a {kind!r} checkpoint, not {expected_kind!r}"
+        )
+    config = decode_config(payload["config"])
+    topology = decode_topology(payload["topology"])
+    system = build_grid(config, topology, tracer=tracer)
+    items = [decode_workload_item(raw) for raw in payload["workload"]]
+    restore_system(system, payload["system"])
+    make_submitter = _submitter if expected_kind == "experiment" else tolerant_submitter
+    arrivals = {}
+    for entry in payload["arrivals"]:
+        index = int(entry["index"])
+        arrivals[index] = system.sim.restore_event(
+            entry["event"], make_submitter(system, items[index])
+        )
+    return system, items, arrivals
+
+
+def _collect_result(
+    system: GridSystem, items: List[WorkloadItem], t_wall: float
+) -> ExperimentResult:
     records: List[CompletionRecord] = []
     busy = {}
     nodes = {}
@@ -261,7 +467,7 @@ def run_experiment(
         nodes[name] = scheduler.resource.size
     metrics = compute_metrics(records, busy, nodes)
     return ExperimentResult(
-        config=config,
+        config=system.config,
         metrics=metrics,
         records=records,
         workload=items,
@@ -283,5 +489,27 @@ def _submitter(system: GridSystem, item: WorkloadItem):
             Environment.TEST,
             item.deadline,
         )
+
+    return submit
+
+
+def tolerant_submitter(system: GridSystem, item: WorkloadItem):
+    """A submitter that tolerates a crashed entry agent (degraded runs).
+
+    The request registers, the send is lost, and the request counts as
+    unresolved unless the portal's retry machinery (when enabled)
+    recovers it.
+    """
+
+    def submit() -> None:
+        try:
+            system.portal.submit(
+                system.agents[item.agent_name],
+                system.specs[item.application].model,
+                Environment.TEST,
+                item.deadline,
+            )
+        except TransportError:
+            pass
 
     return submit

@@ -10,15 +10,46 @@ unsolicited (push) or in reply to a pull.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import TransportError
 
-__all__ = ["Endpoint", "MessageKind", "Message"]
+__all__ = [
+    "Endpoint",
+    "MessageKind",
+    "Message",
+    "next_message_id",
+    "peek_message_counter",
+    "set_message_counter",
+]
 
-_message_counter = itertools.count()
+# Process-wide message-id source.  A plain int (not itertools.count) so a
+# checkpoint can capture and restore it: post-resume sends must mint the
+# same ids as the uninterrupted run, or event labels like
+# ``deliver-request-123`` diverge and break trace byte-identity.
+_next_message_id = 0
+
+
+def next_message_id() -> int:
+    """Mint the next globally unique message id."""
+    global _next_message_id
+    value = _next_message_id
+    _next_message_id += 1
+    return value
+
+
+def peek_message_counter() -> int:
+    """The id the next message will be assigned (checkpoint support)."""
+    return _next_message_id
+
+
+def set_message_counter(value: int) -> None:
+    """Reset the id source so the next message gets *value* (restore support)."""
+    global _next_message_id
+    if value < 0:
+        raise TransportError(f"message counter must be >= 0, got {value}")
+    _next_message_id = int(value)
 
 
 @dataclass(frozen=True, order=True)
@@ -62,7 +93,7 @@ class Message:
     recipient: Endpoint
     payload: Any
     hops: int = 0
-    message_id: int = field(default_factory=lambda: next(_message_counter))
+    message_id: int = field(default_factory=next_message_id)
 
     def forwarded(self, sender: Endpoint, recipient: Endpoint) -> "Message":
         """A copy routed onward with the hop count incremented."""

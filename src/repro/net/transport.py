@@ -13,7 +13,6 @@ single-threaded message loop.
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
@@ -23,7 +22,7 @@ from repro.net.message import Endpoint, Message
 from repro.obs.records import MessageDelivered, MessageDropped, MessageSent
 from repro.obs.trace import Tracer
 from repro.sim.engine import Engine
-from repro.sim.events import Priority
+from repro.sim.events import EventHandle, Priority
 from repro.utils.validation import check_non_negative
 
 __all__ = ["Transport", "DEFAULT_DROP_RING_SIZE"]
@@ -76,6 +75,10 @@ class Transport:
         self._dropped_count = 0
         self._fault_dropped_count = 0
         self._drop_ring: Deque[Message] = deque(maxlen=drop_ring_size)
+        # Messages accepted by send() whose delivery event has not yet
+        # fired, keyed by message id.  Checkpoints serialise these so a
+        # restored run re-delivers exactly what was on the wire.
+        self._in_flight: Dict[int, Tuple[Message, EventHandle]] = {}
         self._taps: List[Callable[[Message], None]] = []
         self._tracer = tracer
 
@@ -95,23 +98,6 @@ class Transport:
     def delivered(self) -> int:
         """Messages handed to handlers."""
         return self._delivered
-
-    @property
-    def dropped(self) -> List[Message]:
-        """The most recent dropped messages (deprecated).
-
-        .. deprecated::
-            Dropped messages are no longer retained without bound; use
-            :attr:`dropped_count` for the total and :attr:`dropped_recent`
-            for the bounded ring of the last few messages.
-        """
-        warnings.warn(
-            "Transport.dropped returns only the bounded ring of recent drops; "
-            "use dropped_count / dropped_recent instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return list(self._drop_ring)
 
     @property
     def dropped_count(self) -> int:
@@ -201,14 +187,16 @@ class Transport:
                     self._tracer.emit(self._drop_record(message, verdict.reason))
                 return
             extra_latency = verdict.extra_latency
-        self._sim.schedule_in(
+        handle = self._sim.schedule_in(
             self._latency + extra_latency,
             lambda: self._deliver(message),
             priority=Priority.DEFAULT,
             label=f"deliver-{message.kind.value}-{message.message_id}",
         )
+        self._in_flight[message.message_id] = (message, handle)
 
     def _deliver(self, message: Message) -> None:
+        self._in_flight.pop(message.message_id, None)
         handler = self._handlers.get(message.recipient)
         if handler is None:
             self._dropped_count += 1
@@ -240,6 +228,75 @@ class Transport:
             hops=message.hops,
             reason=reason,
         )
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Counters, the drop ring, in-flight messages, and fault attribution.
+
+        Endpoint registrations are *not* serialised — they are re-created by
+        rebuilding the grid (and adjusted by each agent's own restore for
+        crashed agents).  The fault plan's RNG position is covered by the
+        run's :class:`~repro.utils.rng.RngRegistry` snapshot.
+        """
+        from repro.checkpoint.codec import encode_message
+
+        state = {
+            "sent": self._sent,
+            "delivered": self._delivered,
+            "dropped_count": self._dropped_count,
+            "fault_dropped_count": self._fault_dropped_count,
+            "drop_ring": [encode_message(m) for m in self._drop_ring],
+            "in_flight": [
+                {
+                    "message": encode_message(message),
+                    "event": handle.descriptor(),
+                }
+                for _, (message, handle) in sorted(self._in_flight.items())
+                if not handle.cancelled
+            ],
+        }
+        if self._fault_plan is not None:
+            state["fault_plan"] = {
+                "dropped_by_chance": self._fault_plan.dropped_by_chance,
+                "dropped_by_partition": self._fault_plan.dropped_by_partition,
+                "jittered": self._fault_plan.jittered,
+            }
+        return state
+
+    def restore_state(self, state: dict, *, applications) -> None:
+        """Rewind counters and re-create every in-flight delivery event.
+
+        *applications* maps application names to the rebuilt grid's
+        :class:`~repro.pace.application.ApplicationModel` instances, so
+        in-flight REQUEST payloads share model identity with the
+        schedulers that will evaluate them.
+        """
+        from repro.checkpoint.codec import decode_message
+
+        self._sent = int(state["sent"])
+        self._delivered = int(state["delivered"])
+        self._dropped_count = int(state["dropped_count"])
+        self._fault_dropped_count = int(state["fault_dropped_count"])
+        self._drop_ring.clear()
+        for raw in state["drop_ring"]:
+            self._drop_ring.append(decode_message(raw, applications))
+        for _, (_, handle) in list(self._in_flight.items()):
+            handle.cancel()
+        self._in_flight.clear()
+        for entry in state["in_flight"]:
+            message = decode_message(entry["message"], applications)
+            handle = self._sim.restore_event(
+                entry["event"], lambda m=message: self._deliver(m)
+            )
+            self._in_flight[message.message_id] = (message, handle)
+        plan_state = state.get("fault_plan")
+        if plan_state is not None and self._fault_plan is not None:
+            self._fault_plan.dropped_by_chance = int(plan_state["dropped_by_chance"])
+            self._fault_plan.dropped_by_partition = int(
+                plan_state["dropped_by_partition"]
+            )
+            self._fault_plan.jittered = int(plan_state["jittered"])
 
     # ------------------------------------------------------------------ reset
 

@@ -177,3 +177,34 @@ class EvaluationCache:
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Entries (in insertion order, for FIFO eviction) plus statistics.
+
+        Keys are tuples of strings/ints and serialise as JSON lists; noise
+        entries (``("__noise__", app, nproc, platform)``) ride along, which
+        matters under prediction noise — whether a noise factor is cached
+        decides whether the next evaluation draws from the RNG.
+        """
+        return {
+            "entries": [
+                [list(key), value] for key, value in self._entries.items()
+            ],
+            "stats": {
+                "hits": self._stats.hits,
+                "misses": self._stats.misses,
+                "evictions": self._stats.evictions,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild entries and counters from a :meth:`snapshot_state` dict."""
+        self._entries = OrderedDict(
+            (tuple(key), float(value)) for key, value in state["entries"]
+        )
+        stats = state["stats"]
+        self._stats.hits = int(stats["hits"])
+        self._stats.misses = int(stats["misses"])
+        self._stats.evictions = int(stats["evictions"])

@@ -80,6 +80,26 @@ class EvaluationEngine:
         """Log-normal σ of the prediction perturbation (0 = exact)."""
         return self._noise_factor
 
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Cache contents plus the raw-evaluation counter.
+
+        The noise RNG (if any) belongs to the run's registry and is
+        restored there; cached noise factors travel with the cache, so a
+        resumed engine draws (or skips) exactly the randomness the
+        uninterrupted run would.
+        """
+        return {
+            "cache": self._cache.snapshot_state(),
+            "evaluations": self._evaluations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind the cache and evaluation counter to the snapshot."""
+        self._cache.restore_state(state["cache"])
+        self._evaluations = int(state["evaluations"])
+
     # ------------------------------------------------------------- evaluation
 
     def _raw(self, application: ApplicationModel, nproc: int, platform: PlatformSpec) -> float:

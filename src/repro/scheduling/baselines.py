@@ -88,6 +88,24 @@ class _BookingBase:
             )
         self._free = np.maximum(self._free, actual)
 
+    def snapshot_state(self) -> dict:
+        """Booked free times and fixed placements (checkpoint support)."""
+        return {
+            "free": [float(x) for x in self._free],
+            "placements": {
+                str(tid): [list(a.node_ids), a.start, a.completion]
+                for tid, a in sorted(self._placements.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild bookings from a :meth:`snapshot_state` dict."""
+        self._free = np.asarray(state["free"], dtype=float)
+        self._placements = {
+            int(tid): Allocation(tuple(int(n) for n in nodes), float(s), float(c))
+            for tid, (nodes, s, c) in state["placements"].items()
+        }
+
     def _book(self, task_id: int, node_ids: tuple, duration: float, now: float) -> Allocation:
         if task_id in self._placements:
             raise ScheduleError(f"task {task_id} already placed")
@@ -143,3 +161,12 @@ class RoundRobinScheduler(_BookingBase):
         )
         self._cursor = (self._cursor + k) % self.n_nodes
         return self._book(task_id, node_ids, durations[k - 1], now)
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["cursor"] = self._cursor
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._cursor = int(state["cursor"])

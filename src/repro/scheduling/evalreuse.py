@@ -87,6 +87,15 @@ class EvalReuseStats:
         for f in fields(self):
             setattr(self, f.name, f.default)
 
+    def snapshot_counters(self) -> Dict[str, int]:
+        """The raw counter fields alone (checkpoint support; no hit_rate)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def restore_counters(self, counters: Dict[str, int]) -> None:
+        """Set every counter field from a :meth:`snapshot_counters` dict."""
+        for f in fields(self):
+            setattr(self, f.name, int(counters[f.name]))
+
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict copy (for benchmarks and reports)."""
         return {

@@ -175,6 +175,24 @@ class FIFOScheduler:
             )
         self._free = np.maximum(self._free, actual)
 
+    def snapshot_state(self) -> dict:
+        """Booked free times and fixed placements (checkpoint support)."""
+        return {
+            "free": [float(x) for x in self._free],
+            "placements": {
+                str(tid): [list(a.node_ids), a.start, a.completion]
+                for tid, a in sorted(self._placements.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild bookings from a :meth:`snapshot_state` dict."""
+        self._free = np.asarray(state["free"], dtype=float)
+        self._placements = {
+            int(tid): Allocation(tuple(int(n) for n in nodes), float(s), float(c))
+            for tid, (nodes, s, c) in state["placements"].items()
+        }
+
     def place(
         self, task_id: int, duration: SizeDurationFn, now: float
     ) -> Allocation:

@@ -964,3 +964,64 @@ class GAScheduler:
         for tid in solution.ordering:
             masks[0, self._row_of[tid]] = solution.mask(tid)
         return float(self._evaluate(order, masks, node_free_times, ref_time)[0])
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """The full kernel state: population arrays, task rows, caches, stats.
+
+        The RNG is *not* included — it belongs to the run's
+        :class:`~repro.utils.rng.RngRegistry` and is snapshot there.  The
+        event-level cost cache is serialised too (its presence changes
+        whether the next ``best_solution`` call recomputes, which shows in
+        the reuse counters the experiment result reports).
+        """
+        from repro.checkpoint.codec import encode_ndarray
+
+        return {
+            "id_order": list(self._id_order),
+            "dtable": encode_ndarray(self._dtable),
+            "deadlines": [float(d) for d in self._deadline_arr],
+            "order": None if self._order is None else encode_ndarray(self._order),
+            "masks": None if self._masks is None else encode_ndarray(self._masks),
+            "generations": self._generations,
+            "history": [[int(g), float(c)] for g, c in self._history],
+            "stats": self._stats.snapshot_counters(),
+            "cached_costs": (
+                None
+                if self._cached_costs is None
+                else encode_ndarray(self._cached_costs)
+            ),
+            "cost_cache_key": (
+                None
+                if self._cost_cache_key is None
+                else [self._cost_cache_key[0].hex(), self._cost_cache_key[1]]
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the population exactly as snapshot (RNG restored elsewhere)."""
+        from repro.checkpoint.codec import decode_ndarray
+
+        self._id_order = [int(t) for t in state["id_order"]]
+        self._row_of = {tid: row for row, tid in enumerate(self._id_order)}
+        self._dtable = decode_ndarray(state["dtable"])
+        self._deadline_arr = np.asarray(state["deadlines"], dtype=float)
+        self._order = (
+            None if state["order"] is None else decode_ndarray(state["order"])
+        )
+        self._masks = (
+            None if state["masks"] is None else decode_ndarray(state["masks"])
+        )
+        self._generations = int(state["generations"])
+        self._history = [(int(g), float(c)) for g, c in state["history"]]
+        self._stats.restore_counters(state["stats"])
+        self._cached_costs = (
+            None
+            if state["cached_costs"] is None
+            else decode_ndarray(state["cached_costs"])
+        )
+        key = state["cost_cache_key"]
+        self._cost_cache_key = (
+            None if key is None else (bytes.fromhex(key[0]), float(key[1]))
+        )

@@ -141,6 +141,35 @@ class ResourceMonitor:
         for observer in self._observers:
             observer()
 
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Availability flags, poll count, and the polling process.
+
+        Load tracking (the NWS extension) is not checkpointable yet — no
+        experiment path enables it, and silently dropping tracker state
+        would corrupt forecasts on resume.
+        """
+        if self._trackers is not None:
+            from repro.errors import CheckpointError
+
+            raise CheckpointError(
+                "cannot checkpoint a monitor with load tracking enabled"
+            )
+        return {
+            "actual_up": list(self._actual_up),
+            "observed_up": list(self._observed_up),
+            "polls": self._polls,
+            "process": self._process.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind availability and re-arm the polling process."""
+        self._actual_up = [bool(x) for x in state["actual_up"]]
+        self._observed_up = [bool(x) for x in state["observed_up"]]
+        self._polls = int(state["polls"])
+        self._process.restore_state(state["process"])
+
     # -------------------------------------------------------- load forecasts
 
     @property

@@ -53,7 +53,7 @@ from repro.scheduling.ga import GAConfig, GAScheduler
 from repro.scheduling.monitor import ResourceMonitor
 from repro.scheduling.schedule import build_schedule
 from repro.sim.engine import Engine
-from repro.sim.events import Priority
+from repro.sim.events import EventHandle, Priority
 from repro.tasks.execution import ExecutionEngine, ExecutionMode
 from repro.tasks.queue import TaskQueue
 from repro.tasks.task import Environment, Task, TaskRequest
@@ -199,6 +199,8 @@ class LocalScheduler:
         # Incumbent-schedule per-node free times, refreshed at each
         # scheduling event; None = recompute on the next freetime() query.
         self._cached_node_free: Optional[np.ndarray] = None
+        # task id -> pending static-launch event (checkpoint support).
+        self._static_launch_handles: dict[int, "EventHandle"] = {}
 
     # ------------------------------------------------------------------ state
 
@@ -385,7 +387,7 @@ class LocalScheduler:
             lambda k: self._task_duration(task.task_id, k),
             self._sim.now,
         )
-        self._sim.schedule(
+        self._static_launch_handles[task.task_id] = self._sim.schedule(
             allocation.start,
             lambda: self._launch_static(task),
             priority=Priority.SCHEDULING,
@@ -399,13 +401,14 @@ class LocalScheduler:
         if ready > self._sim.now + _EPS:
             # Actual availability drifted later than the booking (runtime
             # noise or a node failure); re-arm at the observed time.
-            self._sim.schedule(
+            self._static_launch_handles[task.task_id] = self._sim.schedule(
                 ready,
                 lambda: self._launch_static(task),
                 priority=Priority.SCHEDULING,
                 label=f"static-launch-{task.task_id}",
             )
             return
+        self._static_launch_handles.pop(task.task_id, None)
         self._queue.remove(task.task_id)
         completion = self._executor.launch(task, allocation.node_ids)
         if self._tracer is not None:
@@ -518,9 +521,88 @@ class LocalScheduler:
         """Register a callback fired when advertised state may have changed."""
         self._service_listeners.append(listener)
 
+    def off_service_change(self, listener: Callable[[], None]) -> None:
+        """Unregister a service-change callback; unknown listeners are a no-op.
+
+        Counterpart of :meth:`on_service_change` so push-advertisement
+        strategies can detach on ``stop()`` instead of leaking a stale
+        closure per crash/restart cycle.
+        """
+        try:
+            self._service_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _notify_service_change(self) -> None:
         for listener in self._service_listeners:
             listener()
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Full scheduler state: task table, queue, bookings, kernel, monitor.
+
+        Task objects are serialised exactly once (from the submission-order
+        ``_all_tasks`` list); every other structure references them by id so
+        restore preserves the identity sharing between the queue, the
+        executor's running/completed sets, and the agent's reply map.
+        """
+        from repro.checkpoint.codec import encode_task
+
+        state = {
+            "tasks": [encode_task(t) for t in self._all_tasks],
+            "queue": self._queue.snapshot_state(),
+            "executor": self._executor.snapshot_state(),
+            "monitor": self._monitor.snapshot_state(),
+            "cached_node_free": (
+                None
+                if self._cached_node_free is None
+                else [float(x) for x in self._cached_node_free]
+            ),
+            "static_launch_events": {
+                str(tid): handle.descriptor()
+                for tid, handle in sorted(self._static_launch_handles.items())
+                if not handle.cancelled
+            },
+        }
+        if self._ga is not None:
+            state["ga"] = self._ga.snapshot_state()
+        if self._static is not None:
+            state["static"] = self._static.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict, *, applications) -> None:
+        """Rebuild from a snapshot; *applications* maps name → model.
+
+        Must be called on a freshly built scheduler (same resource, policy,
+        and configuration as the snapshot source).  Pending static-launch
+        events are re-created with their original identities; listeners are
+        whatever the rebuilt wiring registered — callbacks are code, not
+        state.
+        """
+        from repro.checkpoint.codec import decode_task
+
+        self._all_tasks = [
+            decode_task(raw, applications) for raw in state["tasks"]
+        ]
+        self._task_by_id = {t.task_id: t for t in self._all_tasks}
+        self._queue.restore_state(state["queue"], self._task_by_id)
+        self._executor.restore_state(state["executor"], self._task_by_id)
+        self._monitor.restore_state(state["monitor"])
+        cached = state["cached_node_free"]
+        self._cached_node_free = None if cached is None else np.array(cached)
+        if self._ga is not None:
+            self._ga.restore_state(state["ga"])
+        if self._static is not None:
+            self._static.restore_state(state["static"])
+        for handle in self._static_launch_handles.values():
+            handle.cancel()
+        self._static_launch_handles = {}
+        for tid, descriptor in state["static_launch_events"].items():
+            task = self._task_by_id[int(tid)]
+            self._static_launch_handles[int(tid)] = self._sim.restore_event(
+                descriptor, lambda t=task: self._launch_static(t)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

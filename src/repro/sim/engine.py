@@ -136,6 +136,77 @@ class Engine:
             raise SimulationError(f"delay must be >= 0, got {delay}")
         return self.schedule(self._now + delay, callback, priority=priority, label=label)
 
+    def restore_event(
+        self,
+        descriptor: dict,
+        callback: Callable[[], None],
+    ) -> EventHandle:
+        """Re-create a checkpointed event with its **original** identity.
+
+        Unlike :meth:`schedule`, the sequence number comes from the
+        *descriptor* (captured by :meth:`EventHandle.descriptor` at snapshot
+        time) rather than the engine counter, so the restored heap fires in
+        exactly the order the interrupted run would have.  Must only be
+        called after :meth:`restore_state` has set the clock and sequence
+        counter; the descriptor's sequence must predate the restored counter.
+        """
+        time = float(descriptor["time"])
+        sequence = int(descriptor["sequence"])
+        if time < self._now:
+            raise SimulationError(
+                f"cannot restore event at t={time} before current time t={self._now}"
+            )
+        if sequence >= self._sequence:
+            raise SimulationError(
+                f"restored event sequence {sequence} not below engine "
+                f"sequence counter {self._sequence}"
+            )
+        event = Event(
+            time,
+            int(descriptor["priority"]),
+            sequence,
+            callback,
+            str(descriptor.get("label", "")),
+            on_cancel=self._on_event_cancelled,
+        )
+        heapq.heappush(self._heap, event)
+        self._pending += 1
+        return EventHandle(event)
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Clock and counter state (events are snapshot by their owners).
+
+        Every pending event is owned by exactly one component (transport
+        in-flight registry, executor completion handles, periodic processes,
+        …) which serialises its descriptor and re-creates it on restore;
+        the engine itself only carries the clock, the sequence counter, and
+        the fired total.
+        """
+        return {
+            "now": self._now,
+            "start_time": self._start_time,
+            "sequence": self._sequence,
+            "fired": self._fired,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind to a snapshot; pending events must be restored afterwards.
+
+        Discards any queued events (a freshly built system has only
+        construction-time events, all superseded by the snapshot's
+        descriptors) and resets the clock/counters so subsequent
+        :meth:`restore_event` calls rebuild the heap exactly.
+        """
+        self._guard_reentrancy()
+        self._heap.clear()
+        self._pending = 0
+        self._start_time = float(state["start_time"])
+        self._now = float(state["now"])
+        self._sequence = int(state["sequence"])
+        self._fired = int(state["fired"])
+
     # ------------------------------------------------------------------- run
 
     def step(self) -> bool:

@@ -84,9 +84,44 @@ class EventHandle:
         return self._event.label
 
     @property
+    def priority(self) -> int:
+        """The priority band the event was scheduled in."""
+        return self._event.priority
+
+    @property
+    def sequence(self) -> int:
+        """The engine-assigned insertion sequence (tie-break identity)."""
+        return self._event.sequence
+
+    @property
     def cancelled(self) -> bool:
         """Whether the event has been cancelled."""
         return self._event.cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event has already fired."""
+        return self._event.fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting in the heap (not fired/cancelled)."""
+        return not (self._event.fired or self._event.cancelled)
+
+    def descriptor(self) -> dict:
+        """The ``(time, priority, sequence, label)`` identity of this event.
+
+        Checkpoints store descriptors instead of handles; restore re-creates
+        the event with its *original* triple via
+        :meth:`~repro.sim.engine.Engine.restore_event`, so heap order — and
+        therefore replay — is preserved exactly.
+        """
+        return {
+            "time": self._event.time,
+            "priority": self._event.priority,
+            "sequence": self._event.sequence,
+            "label": self._event.label,
+        }
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""

@@ -101,6 +101,31 @@ class PeriodicProcess:
                 self._interval, self._fire, priority=self._priority, label=self._label
             )
 
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Running flag, firing count, and the pending occurrence, if any."""
+        pending = None
+        if self._handle is not None and not self._handle.cancelled:
+            pending = self._handle.descriptor()
+        return {"running": self._running, "fired": self._fired, "pending": pending}
+
+    def restore_state(self, state: dict) -> None:
+        """Re-arm from a snapshot without firing.
+
+        The pending occurrence is re-created with its original event
+        identity (see :meth:`Engine.restore_event`); a stopped process stays
+        stopped with no event scheduled.
+        """
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self._running = bool(state["running"])
+        self._fired = int(state["fired"])
+        pending = state.get("pending")
+        if pending is not None:
+            self._handle = self._engine.restore_event(pending, self._fire)
+
 
 def delayed(
     engine: Engine,

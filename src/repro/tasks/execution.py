@@ -33,7 +33,7 @@ from repro.errors import TaskError
 from repro.pace.evaluation import EvaluationEngine
 from repro.pace.resource import ResourceModel
 from repro.sim.engine import Engine
-from repro.sim.events import Priority
+from repro.sim.events import EventHandle, Priority
 from repro.tasks.task import Task
 
 __all__ = ["BusyInterval", "ExecutionEngine", "ExecutionMode"]
@@ -117,6 +117,8 @@ class ExecutionEngine:
         self._running: Dict[int, Task] = {}
         self._completed: List[Task] = []
         self._completion_listeners: List[Callable[[Task], None]] = []
+        # task id -> its pending complete-task event (checkpoint support).
+        self._completion_handles: Dict[int, EventHandle] = {}
 
     # ------------------------------------------------------------------ state
 
@@ -200,7 +202,7 @@ class ExecutionEngine:
             self._busy_intervals.append(
                 BusyInterval(nid, now, completion, task.task_id)
             )
-        self._sim.schedule(
+        self._completion_handles[task.task_id] = self._sim.schedule(
             completion,
             lambda: self._complete(task),
             priority=Priority.COMPLETION,
@@ -225,6 +227,51 @@ class ExecutionEngine:
     def _complete(self, task: Task) -> None:
         task.mark_completed(self._sim.now)
         del self._running[task.task_id]
+        self._completion_handles.pop(task.task_id, None)
         self._completed.append(task)
         for listener in self._completion_listeners:
             listener(task)
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Bookings, running/completed sets, and pending completion events.
+
+        Tasks are referenced by id — the owning scheduler serialises the
+        task objects once and hands the table back on restore, preserving
+        the identity sharing between queue, executor, and agent maps.
+        """
+        return {
+            "node_free_at": {
+                str(nid): t for nid, t in sorted(self._node_free_at.items())
+            },
+            "busy_intervals": [
+                [b.node_id, b.start, b.end, b.task_id] for b in self._busy_intervals
+            ],
+            "running": sorted(self._running),
+            "completed": [t.task_id for t in self._completed],
+            "completion_events": {
+                str(tid): handle.descriptor()
+                for tid, handle in sorted(self._completion_handles.items())
+            },
+        }
+
+    def restore_state(self, state: dict, tasks: Dict[int, Task]) -> None:
+        """Rebuild bookings and re-create pending completion events."""
+        self._node_free_at = {
+            int(nid): float(t) for nid, t in state["node_free_at"].items()
+        }
+        self._busy_intervals = [
+            BusyInterval(int(n), float(s), float(e), int(tid))
+            for n, s, e, tid in state["busy_intervals"]
+        ]
+        self._running = {int(tid): tasks[int(tid)] for tid in state["running"]}
+        self._completed = [tasks[int(tid)] for tid in state["completed"]]
+        for handle in self._completion_handles.values():
+            handle.cancel()
+        self._completion_handles = {}
+        for tid, descriptor in state["completion_events"].items():
+            task = tasks[int(tid)]
+            self._completion_handles[int(tid)] = self._sim.restore_event(
+                descriptor, lambda t=task: self._complete(t)
+            )

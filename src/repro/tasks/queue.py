@@ -122,3 +122,19 @@ class TaskQueue:
     def peek_ids(self) -> List[int]:
         """Task ids in arrival order."""
         return [t.task_id for t in self._tasks]
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Queue order and the id counter (tasks referenced by id)."""
+        return {"order": self.peek_ids(), "next_id": self._next_id}
+
+    def restore_state(self, state: dict, tasks: Dict[int, "Task"]) -> None:
+        """Rebuild the queue from the shared task table, without notifying.
+
+        Listeners (the GA) restore their own state separately; firing
+        ``add`` notifications here would double-apply the queue contents.
+        """
+        self._tasks = [tasks[int(tid)] for tid in state["order"]]
+        self._by_id = {t.task_id: t for t in self._tasks}
+        self._next_id = int(state["next_id"])

@@ -105,6 +105,40 @@ class RngRegistry:
             digest.update(b"\x01")
         return digest.hexdigest()
 
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> Dict[str, dict]:
+        """Every stream's bit-generator state, keyed by stream name.
+
+        PCG64 (numpy's default) exposes its state as a JSON-serialisable
+        dict of ints, so the snapshot round-trips through the checkpoint
+        file without loss.
+        """
+        return {
+            name: self._streams[name].bit_generator.state
+            for name in sorted(self._streams)
+        }
+
+    def restore_state(self, state: Dict[str, dict]) -> None:
+        """Rewind every snapshotted stream to its exact saved position.
+
+        Cached generators are updated **in place** — components capture
+        generator references at construction (the GA, the fault plan, the
+        execution engine), so replacing the objects would silently detach
+        them from the registry.  Streams not present in *state* are dropped
+        (they did not exist at snapshot time), so a restored registry's
+        :meth:`state_digest` matches the snapshot source byte-for-byte.
+        """
+        for name in list(self._streams):
+            if name not in state:
+                del self._streams[name]
+        for name, bg_state in state.items():
+            gen = self._streams.get(name)
+            if gen is None:
+                gen = np.random.default_rng(derive_seed(self._master_seed, name))
+                self._streams[name] = gen
+            gen.bit_generator.state = bg_state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngRegistry(master_seed={self._master_seed}, streams={sorted(self._streams)})"
 

@@ -120,6 +120,38 @@ class TestEventPush:
         with pytest.raises(ValidationError):
             EventPushStrategy(min_interval=-1.0)
 
+    def test_churn_cycles_do_not_leak_listeners(self, sim):
+        # Regression: stop() used to leave the service-change listener
+        # subscribed, so every crash/restart cycle stacked one more
+        # subscription and each service change pushed N duplicate adverts.
+        agents = build_pair(sim, EventPushStrategy)
+        child = agents["C"]
+        assert len(child.scheduler._service_listeners) == 1
+        for _ in range(5):
+            child.deactivate()
+            assert len(child.scheduler._service_listeners) == 0
+            child.reactivate()
+            assert len(child.scheduler._service_listeners) == 1
+
+    def test_push_after_restart_is_single(self, sim):
+        agents = build_pair(sim, EventPushStrategy)
+        child, parent = agents["C"], agents["P"]
+        sim.run_until(1.0)
+        child.deactivate()
+        child.reactivate()
+        baseline = parent.stats.advertisements_received
+        request = TaskRequest(
+            application=__import__("repro.pace.workloads", fromlist=["x"])
+            .paper_applications()["closure"],
+            environment=Environment.TEST,
+            deadline=sim.now + 100.0,
+            submit_time=sim.now,
+        )
+        child.scheduler.submit(request)
+        sim.run_until(sim.now + 5.0)
+        # Exactly one advert per service change — not one per past restart.
+        assert parent.stats.advertisements_received == baseline + 1
+
 
 class TestNoAdvertisement:
     def test_registries_stay_empty(self, sim):

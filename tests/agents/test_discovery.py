@@ -115,6 +115,47 @@ class TestHeadBestEffort:
         )
         assert outcome.decision is Decision.LOCAL
 
+    def test_eta_tie_local_beats_remote(self):
+        # Exact ETA tie: absorbing locally spares a network hop.
+        outcome = discover(
+            local=match("self", eta=100.0, meets=False),
+            neighbours={EP_B: match("b", eta=100.0, meets=False)},
+            parent=None,
+            hops=0,
+        )
+        assert outcome.decision is Decision.LOCAL
+        assert outcome.estimate == 100.0
+
+    def test_eta_tie_between_remotes_breaks_on_endpoint(self):
+        # Remote-vs-remote tie: lowest (address, port) wins, and the
+        # choice must not depend on neighbour insertion order.
+        tie = {
+            EP_C: match("c", eta=100.0, meets=False),
+            EP_B: match("b", eta=100.0, meets=False),
+        }
+        for neighbours in (tie, dict(reversed(list(tie.items())))):
+            outcome = discover(
+                local=match("self", eta=500.0, meets=False),
+                neighbours=neighbours,
+                parent=None,
+                hops=0,
+            )
+            assert outcome.decision is Decision.FORWARD
+            assert outcome.target == EP_B
+
+    def test_eta_tie_same_address_breaks_on_port(self):
+        low, high = Endpoint("b", 1000), Endpoint("b", 2000)
+        outcome = discover(
+            local=match("self", eta=500.0, meets=False),
+            neighbours={
+                high: match("b", eta=100.0, meets=False),
+                low: match("b", eta=100.0, meets=False),
+            },
+            parent=None,
+            hops=0,
+        )
+        assert outcome.target == low
+
     def test_strict_mode_rejects(self):
         outcome = discover(
             local=match("self", eta=50.0, meets=False),

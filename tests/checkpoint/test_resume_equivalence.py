@@ -1,0 +1,149 @@
+"""Resume-equivalence: checkpoint + restore must change *nothing*.
+
+The correctness bar for the whole checkpoint fabric: a run snapshotted at
+step T and resumed to completion must be byte-identical to the
+uninterrupted run — completion records, metrics, canonical trace lines,
+and the final RNG digest.  Any drift (a re-ordered dict, a re-minted
+message id, an extra RNG draw) shows up here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+import repro.net.message as message_module
+from repro.errors import CheckpointError, ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.experiment4 import (
+    checkpoint_degraded,
+    degradation_config,
+    experiment4_base_config,
+    resume_degraded,
+)
+from repro.experiments.runner import (
+    checkpoint_experiment,
+    resume_experiment,
+    run_experiment,
+)
+from repro.obs.records import canonical_lines
+from repro.obs.trace import Tracer
+from repro.scheduling.scheduler import SchedulingPolicy
+
+SEEDS = (2003, 7, 11, 23, 42)
+AT_STEP = 400
+
+
+def strict_config(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        name=f"ckpt-{seed}",
+        policy=SchedulingPolicy.GA,
+        agents_enabled=True,
+        request_count=12,
+        master_seed=seed,
+    )
+
+
+def metrics_json(metrics) -> str:
+    # GridMetrics contains NaN epsilons for idle resources; dataclass
+    # equality fails on NaN, JSON text comparison does not.
+    return json.dumps(asdict(metrics), sort_keys=True)
+
+
+def assert_equivalent(full, resumed, full_lines, combo_lines):
+    assert [asdict(r) for r in full.records] == [asdict(r) for r in resumed.records]
+    assert metrics_json(full.metrics) == metrics_json(resumed.metrics)
+    assert full.rng_digest == resumed.rng_digest
+    assert combo_lines == full_lines
+
+
+class TestStrictResume:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_resume_is_byte_identical(self, seed, tmp_path):
+        path = str(tmp_path / "snap.json")
+
+        message_module.set_message_counter(0)
+        tracer_full = Tracer()
+        full = run_experiment(strict_config(seed), tracer=tracer_full)
+
+        message_module.set_message_counter(0)
+        tracer_pre = Tracer()
+        checkpoint_experiment(
+            strict_config(seed), tracer=tracer_pre, at_step=AT_STEP, path=path
+        )
+        tracer_post = Tracer()
+        resumed = resume_experiment(path, tracer=tracer_post)
+
+        assert_equivalent(
+            full,
+            resumed,
+            canonical_lines(tracer_full.records),
+            canonical_lines(tracer_pre.records)
+            + canonical_lines(tracer_post.records),
+        )
+
+    def test_checkpointing_during_run_does_not_perturb_it(self, tmp_path):
+        path = str(tmp_path / "rolling.json")
+        message_module.set_message_counter(0)
+        plain = run_experiment(strict_config(2003))
+        message_module.set_message_counter(0)
+        rolling = run_experiment(
+            strict_config(2003), checkpoint_every=300, checkpoint_path=path
+        )
+        assert plain.rng_digest == rolling.rng_digest
+        assert metrics_json(plain.metrics) == metrics_json(rolling.metrics)
+        # The rolling snapshot itself must be resumable.
+        message_module.set_message_counter(0)
+        checkpoint_experiment(strict_config(2003), at_step=300, path=path)
+        resumed = resume_experiment(path)
+        assert resumed.rng_digest == plain.rng_digest
+
+    def test_at_step_must_be_positive(self, tmp_path):
+        with pytest.raises(ExperimentError, match="at_step"):
+            checkpoint_experiment(
+                strict_config(2003), at_step=0, path=str(tmp_path / "never.json")
+            )
+
+    def test_resume_rejects_wrong_kind(self, tmp_path):
+        path = str(tmp_path / "deg.json")
+        checkpoint_degraded(degraded_config(), at_step=AT_STEP, path=path)
+        with pytest.raises(CheckpointError, match="kind|checkpoint"):
+            resume_experiment(path)
+
+
+def degraded_config() -> ExperimentConfig:
+    return degradation_config(
+        experiment4_base_config(request_count=20),
+        loss=0.2,
+        churn_rate=0.25,
+    )
+
+
+class TestDegradedResume:
+    def test_faulty_cell_resume_is_byte_identical(self, tmp_path):
+        """The Experiment-4 acceptance cell: 20% loss, 25% churn."""
+        path = str(tmp_path / "snap.json")
+        from repro.experiments.experiment4 import run_degraded
+
+        message_module.set_message_counter(0)
+        tracer_full = Tracer()
+        full = run_degraded(degraded_config(), tracer=tracer_full)
+
+        message_module.set_message_counter(0)
+        tracer_pre = Tracer()
+        checkpoint_degraded(
+            degraded_config(), tracer=tracer_pre, at_step=600, path=path
+        )
+        tracer_post = Tracer()
+        resumed = resume_degraded(path, tracer=tracer_post)
+
+        assert_equivalent(
+            full.result,
+            resumed.result,
+            canonical_lines(tracer_full.records),
+            canonical_lines(tracer_pre.records)
+            + canonical_lines(tracer_post.records),
+        )
+        assert full.counters == resumed.counters

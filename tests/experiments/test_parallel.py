@@ -18,6 +18,7 @@ from repro.experiments.ablations import base_config
 from repro.experiments.parallel import (
     ExperimentJob,
     default_jobs,
+    job_key,
     merge_cache_stats,
     run_many,
 )
@@ -68,6 +69,61 @@ class TestRunMany:
         for seq, par in zip(sequential, parallel):
             assert par.config == seq.config  # submission order preserved
             assert same_result(par, seq)
+
+
+class TestManifest:
+    """Crash-resumable sweeps: completed jobs are reloaded, not re-run."""
+
+    def jobs(self):
+        return [
+            ExperimentJob(base_config(REQUESTS, master_seed=seed))
+            for seed in (2003, 2004)
+        ]
+
+    def test_job_key_is_stable_and_discriminating(self):
+        a, b = self.jobs()
+        assert job_key(a) == job_key(a)
+        assert job_key(a) != job_key(b)
+
+    def test_second_invocation_reuses_results(self, tmp_path):
+        import os
+
+        first = run_many(self.jobs(), manifest_dir=str(tmp_path))
+        manifest = tmp_path / "manifest.jsonl"
+        assert manifest.exists()
+        assert len(manifest.read_text().splitlines()) == 2
+        before = os.stat(manifest).st_mtime_ns
+        second = run_many(self.jobs(), manifest_dir=str(tmp_path))
+        # Nothing re-ran, so nothing was appended.
+        assert os.stat(manifest).st_mtime_ns == before
+        assert all(same_result(a, b) for a, b in zip(first, second))
+
+    def test_partial_manifest_runs_only_missing_jobs(self, tmp_path):
+        first = run_many(self.jobs(), manifest_dir=str(tmp_path))
+        manifest = tmp_path / "manifest.jsonl"
+        lines = manifest.read_text().splitlines()
+        # Simulate a crash that lost the second job's manifest entry.
+        manifest.write_text(lines[0] + "\n")
+        second = run_many(self.jobs(), manifest_dir=str(tmp_path))
+        assert all(same_result(a, b) for a, b in zip(first, second))
+        assert len(manifest.read_text().splitlines()) == 2
+
+    def test_unreadable_result_is_rerun(self, tmp_path):
+        import json
+
+        first = run_many(self.jobs(), manifest_dir=str(tmp_path))
+        manifest = tmp_path / "manifest.jsonl"
+        entry = json.loads(manifest.read_text().splitlines()[0])
+        (tmp_path / entry["result"]).write_bytes(b"not a pickle")
+        second = run_many(self.jobs(), manifest_dir=str(tmp_path))
+        assert all(same_result(a, b) for a, b in zip(first, second))
+
+    def test_results_keep_submission_order(self, tmp_path):
+        # Reloaded and freshly run results interleave in input order.
+        jobs = self.jobs()
+        run_many([jobs[1]], manifest_dir=str(tmp_path))
+        results = run_many(jobs, manifest_dir=str(tmp_path))
+        assert [r.config.master_seed for r in results] == [2003, 2004]
 
 
 class TestExperimentJob:

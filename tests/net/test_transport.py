@@ -80,9 +80,8 @@ class TestDelivery:
         assert transport.delivered == 0
         assert transport.dropped_count == 1
         assert len(transport.dropped_recent) == 1
-        # The old unbounded-list property still answers, but deprecated.
-        with pytest.deprecated_call():
-            assert len(transport.dropped) == 1
+        # The deprecated unbounded-list property is gone for good.
+        assert not hasattr(transport, "dropped")
 
     def test_counters(self, sim, transport):
         a, b = Endpoint("a", 1), Endpoint("b", 1)

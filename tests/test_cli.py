@@ -165,3 +165,39 @@ class TestCommands:
             "--fault-plan", str(plan_path), "--no-retry",
         ]) == 0
         assert "no-retry baseline" in capsys.readouterr().out
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        snap = tmp_path / "snap.json"
+        assert main([
+            "checkpoint", "--requests", "12", "--at-step", "300",
+            "--out", str(snap),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sha256: " in out
+        assert snap.exists()
+        assert main(["resume", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out and "rng digest: " in out
+
+    def test_checkpoint_then_resume_degraded(self, capsys, tmp_path):
+        snap = tmp_path / "snap.json"
+        assert main([
+            "checkpoint", "--requests", "12", "--loss", "0.1",
+            "--churn", "0.25", "--at-step", "300", "--out", str(snap),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["resume", str(snap)]) == 0
+        assert "rng digest: " in capsys.readouterr().out
+
+    def test_soak_with_checkpoint_then_resume(self, capsys, tmp_path):
+        snap = tmp_path / "soak.json"
+        assert main([
+            "soak", "--requests", "40", "--window", "30",
+            "--checkpoint", str(snap),
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "completed" in first and "win" in first
+        assert main(["resume", str(snap)]) == 0
+        second = capsys.readouterr().out
+        # The resumed soak reports the same windows and final digest.
+        assert first.splitlines()[-1] == second.splitlines()[-1]
