@@ -114,7 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--only", action="append", metavar="SUBSTRING",
                       help="run only benchmarks whose name contains this "
                       "substring (repeatable); the written output then holds "
-                      "just that subset")
+                      "just that subset unless --update is given")
+    perf.add_argument("--update", action="store_true",
+                      help="rewrite the output file in place: merge fresh "
+                      "results over the existing document (benchmarks not "
+                      "re-run are carried over, derived ratios recomputed, "
+                      "meta refreshed with the current git SHA and machine)")
 
     trace = sub.add_parser(
         "trace",
@@ -629,7 +634,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.perf import run_perf_cli
 
         return run_perf_cli(args.output, baseline=args.baseline, jobs=args.jobs,
-                            only=args.only)
+                            only=args.only, update=args.update)
     elif args.command == "trace":
         return _cmd_trace(args)
     elif args.command == "checkpoint":

@@ -177,8 +177,12 @@ def run_many(
     jobs:
         Worker processes.  ``1`` runs sequentially in-process (no pool, no
         pickling) — the reference path.  Larger values fan out over a
-        ``ProcessPoolExecutor``; the pool is sized to
-        ``min(jobs, len(configs))``.
+        ``ProcessPoolExecutor``; the effective worker count is clamped to
+        ``min(jobs, os.cpu_count(), pending jobs)`` — oversubscribing a
+        box with more processes than cores only adds scheduler churn (the
+        committed ``sweep_speedup < 1`` on a 1-CPU runner is exactly that
+        failure mode), and a clamp that lands on one worker short-circuits
+        to the in-process path, skipping pool and pickling entirely.
     mp_context:
         Multiprocessing start method.  ``"spawn"`` (default) is the only
         method that exists on every platform and the one that flushes out
@@ -223,13 +227,14 @@ def run_many(
                 manifest_dir, keys[index], configs[index].config.name, result
             )
 
-    if jobs == 1 or len(pending) <= 1:
+    workers = min(jobs, os.cpu_count() or 1, len(pending))
+    if workers <= 1:
         for index in pending:
             finish(index, _run_job(configs[index]))
     else:
         context = get_context(mp_context)
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)), mp_context=context
+            max_workers=workers, mp_context=context
         ) as pool:
             futures = [(index, pool.submit(_run_job, configs[index])) for index in pending]
             # Collect in submission order — deterministic regardless of

@@ -7,6 +7,15 @@ The suite times the hot kernels this codebase optimises:
   crossover kernel and the per-pair reference kernel
   (``GAConfig(batched=False)``).  Both consume the identical RNG stream,
   so the comparison times exactly the same evolutionary work.
+* ``ga_evolve_vectorized`` — the same protocol under
+  ``GAConfig(kernel="vectorized")``, the whole-population array kernel of
+  :mod:`repro.scheduling.vectorized`.  Its RNG stream differs from the
+  reference by design (byte-identity is relaxed; quality parity is gated
+  by the property tests), so the number measures the same workload shape
+  rather than the same stream.
+* ``ga_warmstart_convergence`` — generation-budget saving of the
+  list-scheduling warm start: how many fewer generations the seeded
+  vectorized population needs to match a cold run's final best cost.
 * ``ga_evaluate_dedup`` / ``ga_evaluate_full`` — individuals/second of
   one population costing on a *converged* population, through the
   evaluation-reuse layer (digest → dedup → subset evaluate → scatter)
@@ -53,6 +62,7 @@ __all__ = [
     "PARALLELISM_BENCHMARKS",
     "run_suite",
     "select_benchmarks",
+    "merge_suite_doc",
     "check_regression",
     "render_report",
     "run_perf_cli",
@@ -110,7 +120,13 @@ class Regression:
 # ------------------------------------------------------------------ kernels
 
 
-def _make_ga(batched: bool, n_tasks: int = 12, n_nodes: int = 16):
+def _make_ga(
+    batched: bool,
+    n_tasks: int = 12,
+    n_nodes: int = 16,
+    kernel: Optional[str] = None,
+    warmstart_count: Optional[int] = None,
+):
     """A GA over the paper's applications, mirroring the case-study setup."""
     from repro.pace.evaluation import EvaluationEngine
     from repro.pace.hardware import SGI_ORIGIN_2000
@@ -122,11 +138,14 @@ def _make_ga(batched: bool, n_tasks: int = 12, n_nodes: int = 16):
     rows = [
         engine.evaluate_counts(model, SGI_ORIGIN_2000, n_nodes) for model in models
     ]
+    config_kwargs: Dict[str, object] = {"batched": batched, "kernel": kernel}
+    if warmstart_count is not None:
+        config_kwargs["warmstart_count"] = warmstart_count
     ga = GAScheduler(
         n_nodes,
         lambda tid, k: float(rows[tid % len(rows)][k - 1]),
         np.random.default_rng(2003),
-        GAConfig(batched=batched),
+        GAConfig(**config_kwargs),
         duration_row=lambda tid: rows[tid % len(rows)],
     )
     for tid in range(n_tasks):
@@ -134,23 +153,31 @@ def _make_ga(batched: bool, n_tasks: int = 12, n_nodes: int = 16):
     return ga
 
 
-def bench_ga_evolve(batched: bool, generations: int = 25, repeats: int = 5) -> BenchResult:
-    """Generations/second of ``evolve`` under one crossover kernel.
+def bench_ga_evolve(
+    batched: bool,
+    generations: int = 25,
+    repeats: int = 5,
+    kernel: Optional[str] = None,
+) -> BenchResult:
+    """Generations/second of ``evolve`` under one GA kernel.
 
     Best-of-*repeats* chunks of *generations* each (generations are
     homogeneous in cost, so the fastest chunk is the least-noisy sample).
     Whole-``evolve`` throughput dilutes the crossover kernel behind the
     cost evaluation — :func:`bench_ga_crossover` isolates the kernel.
+    *kernel* selects an explicit ``GAConfig.kernel`` (``"vectorized"``
+    produces ``ga_evolve_vectorized``); ``None`` keeps the historical
+    batched/reference pair.
     """
     free = [0.0] * 16
-    ga = _make_ga(batched)
+    ga = _make_ga(batched, kernel=kernel)
     ga.evolve(3, free, 0.0)  # warm-up: population allocation, caches
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         ga.evolve(generations, free, 0.0)
         best = min(best, time.perf_counter() - start)
-    kind = "batched" if batched else "reference"
+    kind = kernel if kernel is not None else ("batched" if batched else "reference")
     return BenchResult(
         name=f"ga_evolve_{kind}",
         value=generations / best,
@@ -158,6 +185,40 @@ def bench_ga_evolve(batched: bool, generations: int = 25, repeats: int = 5) -> B
         higher_is_better=True,
         detail=f"best of {repeats}x{generations} generations, "
         "12 tasks, 16 nodes, pop 50",
+    )
+
+
+def bench_ga_warmstart_convergence(generations: int = 25) -> BenchResult:
+    """Generation-budget saving of the list-scheduling warm start.
+
+    Two identical vectorized-kernel GAs (same seed, same tasks, same
+    availability) differ only in ``warmstart_count``: the *cold* run
+    (no seeds) evolves the full *generations* budget and its final best
+    cost becomes the quality target; the *warm* run (default seeds)
+    then evolves one generation at a time until it first matches that
+    target.  The reported value is ``generations / generations_used`` —
+    e.g. 5x means the seeded population reached the cold run's 25-gen
+    quality in 5 generations.  Fully seeded, so the number is
+    deterministic on a given numpy version; 1.0 is the worst case (warm
+    start never worse than cold under equal budgets is *not* implied —
+    the floor simply means the whole budget was needed).
+    """
+    free = [0.0] * 16
+    cold = _make_ga(batched=True, kernel="vectorized", warmstart_count=0)
+    target = cold.evolve(generations, free, 0.0)
+    warm = _make_ga(batched=True, kernel="vectorized")
+    used = generations
+    for generation in range(1, generations + 1):
+        if warm.evolve(1, free, 0.0) <= target:
+            used = generation
+            break
+    return BenchResult(
+        name="ga_warmstart_convergence",
+        value=generations / used,
+        unit="x",
+        higher_is_better=True,
+        detail=f"warm start matched the cold {generations}-generation best "
+        f"in {used} generations, 12 tasks, 16 nodes, pop 50",
     )
 
 
@@ -372,6 +433,7 @@ def machine_info() -> Dict[str, object]:
 #: rest).
 DERIVED_RATIOS = {
     "ga_evolve_speedup": ("ga_evolve_batched", "ga_evolve_reference"),
+    "ga_evolve_vectorized_speedup": ("ga_evolve_vectorized", "ga_evolve_reference"),
     "ga_crossover_speedup": ("ga_crossover_batched", "ga_crossover_reference"),
     "ga_evaluate_dedup_speedup": ("ga_evaluate_dedup", "ga_evaluate_full"),
     "evaluate_bulk_speedup": ("evaluate_counts", "evaluate_scalar"),
@@ -385,6 +447,11 @@ def _suite_specs(requests: int, jobs: int):
          lambda: [bench_ga_evolve(batched=True)]),
         (("ga_evolve_reference",), "GA evolve (per-pair reference kernel)...",
          lambda: [bench_ga_evolve(batched=False)]),
+        (("ga_evolve_vectorized",), "GA evolve (vectorized array kernel)...",
+         lambda: [bench_ga_evolve(batched=True, kernel="vectorized")]),
+        (("ga_warmstart_convergence",),
+         "warm-start convergence (vectorized kernel)...",
+         lambda: [bench_ga_warmstart_convergence()]),
         (("ga_crossover_batched", "ga_crossover_reference"),
          "GA crossover kernel (batched vs reference)...",
          lambda: [bench_ga_crossover(batched=True),
@@ -455,6 +522,35 @@ def run_suite(
         },
         "benchmarks": {r.name: r.to_json() for r in results},
         "derived": {k: float(v) for k, v in derived.items()},
+    }
+
+
+def merge_suite_doc(existing: Optional[Dict], fresh: Dict) -> Dict:
+    """Fold a (possibly partial) fresh run into an existing document.
+
+    Benchmarks from *fresh* replace their namesakes in *existing*; every
+    other committed benchmark is carried over untouched, and the derived
+    ratios are recomputed from the merged set so a ``--only`` subset run
+    can refresh e.g. ``ga_evolve_vectorized_speedup`` without re-timing
+    its denominator.  The ``meta`` block always comes from *fresh* — the
+    attribution (git SHA, machine) must describe the newest numbers in
+    the file, and carried-over entries keep their per-benchmark
+    ``detail`` strings for provenance.
+    """
+    if not existing:
+        return fresh
+    benchmarks = dict(existing.get("benchmarks", {}))
+    benchmarks.update(fresh.get("benchmarks", {}))
+    derived = {
+        name: float(benchmarks[num]["value"]) / float(benchmarks[den]["value"])
+        for name, (num, den) in DERIVED_RATIOS.items()
+        if num in benchmarks and den in benchmarks
+        and float(benchmarks[den]["value"]) != 0
+    }
+    return {
+        "meta": fresh["meta"],
+        "benchmarks": benchmarks,
+        "derived": derived,
     }
 
 
@@ -537,6 +633,7 @@ def run_perf_cli(
     jobs: int = 4,
     requests: int = BENCH_REQUESTS,
     only: Optional[List[str]] = None,
+    update: bool = False,
 ) -> int:
     """Run the suite, write *output*, compare against *baseline* if present.
 
@@ -545,8 +642,13 @@ def run_perf_cli(
     ``None`` the pre-existing *output* file (the committed baseline)
     serves as the comparison point.  *only* restricts the run to
     benchmarks whose names contain any of the given substrings — note the
-    written *output* then holds just that subset, so point ``--output``
-    elsewhere when iterating against a committed full baseline.
+    written *output* then holds just that subset, so either point
+    ``--output`` elsewhere when iterating against a committed full
+    baseline, or pass *update* to rewrite the file in place: fresh
+    results are merged over the existing document (untouched benchmarks
+    carried over, derived ratios recomputed, ``meta`` refreshed with the
+    current git SHA and machine), which is how a committed
+    ``BENCH_PERF.json`` is re-baselined without re-running everything.
     """
     baseline_path = baseline if baseline is not None else output
     baseline_doc = None
@@ -559,6 +661,12 @@ def run_perf_cli(
         progress=lambda msg: print(f"  {msg}", file=sys.stderr),
         only=only,
     )
+    if update:
+        existing = None
+        if os.path.exists(output):
+            with open(output, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        doc = merge_suite_doc(existing, doc)
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")

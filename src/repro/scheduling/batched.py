@@ -64,6 +64,14 @@ def batched_order_splice(
     batch, m = orders_a.shape
     if cuts.shape != (batch,):
         raise ValidationError(f"cuts must have shape ({batch},), got {cuts.shape}")
+    return _order_splice_core(orders_a, orders_b, cuts)
+
+
+def _order_splice_core(
+    orders_a: np.ndarray, orders_b: np.ndarray, cuts: np.ndarray
+) -> np.ndarray:
+    """:func:`batched_order_splice` without input validation (hot loop)."""
+    batch, m = orders_a.shape
     positions = np.arange(m)
     rows = np.arange(batch)[:, None]
     head_mask = positions[None, :] < cuts[:, None]  # (B, m)
@@ -71,9 +79,12 @@ def batched_order_splice(
     in_head = np.zeros((batch, m), dtype=bool)
     in_head[rows, orders_a] = head_mask
     keep = ~in_head[rows, orders_b]  # b's rows to keep
-    # Kept elements of b land after the head, preserving b's order.
+    # Kept elements of b land after the head, preserving b's order; they
+    # fill every tail slot exactly (m − cut kept rows per pair), so the
+    # scatter below covers everything the head copy leaves unset.
     dest = cuts[:, None] + np.cumsum(keep, axis=1) - 1
-    children = np.where(head_mask, orders_a, 0)
+    children = np.empty_like(orders_a)
+    np.copyto(children, orders_a, where=head_mask)
     b_idx, j_idx = np.nonzero(keep)
     children[b_idx, dest[b_idx, j_idx]] = orders_b[b_idx, j_idx]
     return children
@@ -125,14 +136,36 @@ def batched_mask_crossover(
         )
     if points.shape != (batch,):
         raise ValidationError(f"points must have shape ({batch},), got {points.shape}")
+    return _mask_crossover_core(child_orders, masks_first, masks_second, points)
+
+
+def _mask_crossover_core(
+    child_orders: np.ndarray,
+    masks_first: np.ndarray,
+    masks_second: np.ndarray,
+    points: np.ndarray,
+) -> np.ndarray:
+    """:func:`batched_mask_crossover` without input validation (hot loop)."""
+    batch, m, n = masks_first.shape
     rows = np.arange(batch)[:, None]
-    inverse = np.empty((batch, m), dtype=np.int64)
-    inverse[rows, child_orders] = np.arange(m)[None, :]
+    inverse = np.empty((batch, m), dtype=np.int32)
+    inverse[rows, child_orders] = np.arange(m, dtype=np.int32)[None, :]
     # Flat crossover-string index of (task row r, node j): pos(r)*n + j.
-    flat_index = inverse[:, :, None] * n + np.arange(n)[None, None, :]
-    return np.where(
-        flat_index < points[:, None, None], masks_first, masks_second
+    # ``pos*n + j < point`` ⟺ ``pos < ceil((point − j) / n)``, so the cut
+    # collapses to a per-(pair, node) position threshold — two small
+    # ``(B, n)`` integer ops instead of materialising the flat index as an
+    # ``(B, m, n)`` cube.  Integer math is exact, so the result is
+    # byte-identical to the flat-index comparison; the suffix copy +
+    # masked prefix overwrite replaces ``np.where``, which benchmarks ~4×
+    # slower on broadcast operands at these sizes.
+    thresholds = (points[:, None] - np.arange(n, dtype=np.int32) + n - 1) // n
+    children = masks_second.copy()
+    np.copyto(
+        children,
+        masks_first,
+        where=inverse[:, :, None] < thresholds.astype(np.int32)[:, None, :],
     )
+    return children
 
 
 def batched_insert(

@@ -74,6 +74,10 @@ class EvalReuseStats:
     event_cache_misses: int = 0
     #: Generation loops halted early by ``GAConfig(early_stop_after=K)``.
     early_stops: int = 0
+    #: Individuals replaced by a winning warm-start list-scheduling seed
+    #: (vectorized kernel's once-per-``evolve`` injection; see
+    #: :mod:`repro.scheduling.warmstart`).
+    warmstart_seeds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -92,9 +96,13 @@ class EvalReuseStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def restore_counters(self, counters: Dict[str, int]) -> None:
-        """Set every counter field from a :meth:`snapshot_counters` dict."""
+        """Set every counter field from a :meth:`snapshot_counters` dict.
+
+        Counters absent from *counters* reset to their defaults, so
+        checkpoints written before a counter existed stay restorable.
+        """
         for f in fields(self):
-            setattr(self, f.name, int(counters[f.name]))
+            setattr(self, f.name, int(counters.get(f.name, f.default)))
 
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict copy (for benchmarks and reports)."""
@@ -107,6 +115,7 @@ class EvalReuseStats:
             "event_cache_hits": self.event_cache_hits,
             "event_cache_misses": self.event_cache_misses,
             "early_stops": self.early_stops,
+            "warmstart_seeds": self.warmstart_seeds,
             "hit_rate": self.hit_rate,
         }
 

@@ -49,6 +49,18 @@ from repro.scheduling.evalreuse import (
 from repro.scheduling.cost import CostWeights
 from repro.scheduling.fitness import scale_fitness
 from repro.scheduling.operators import stochastic_remainder_selection
+from repro.scheduling.vectorized import (
+    bernoulli_indices,
+    vectorized_children,
+    vectorized_costs,
+    vectorized_mutation,
+    vectorized_selection,
+)
+from repro.scheduling.warmstart import (
+    greedy_allocation_masks,
+    greedy_allocation_masks_batch,
+    warmstart_orders,
+)
 
 __all__ = ["GAConfig", "GAScheduler"]
 
@@ -99,6 +111,25 @@ class GAConfig:
     #: generations (and RNG draws) a call consumes, so it is off for the
     #: byte-identical default path.
     early_stop_after: Optional[int] = None
+    #: GA kernel selector: ``None`` (default) derives the kernel from the
+    #: legacy ``batched`` flag; ``"reference"`` / ``"batched"`` name the
+    #: byte-identical per-pair and whole-batch kernels explicitly; and
+    #: ``"vectorized"`` selects the fully array-drawn kernel of
+    #: :mod:`repro.scheduling.vectorized` — whole-population RNG draws,
+    #: children-only costing, and warm-start injection in place of the
+    #: per-generation memetic step.  Byte-identity with the reference
+    #: stream is explicitly relaxed for ``"vectorized"``; the contract is
+    #: schedule-cost parity (best cost ≤ reference at an equal generation
+    #: budget, every individual legitimate — property-tested).
+    kernel: Optional[str] = None
+    #: Vectorized kernel only: number of list-scheduling warm-start seeds
+    #: (:mod:`repro.scheduling.warmstart`) injected over the worst
+    #: individuals once per ``evolve`` call (``0`` disables injection;
+    #: the memetic greedy re-map of the incumbent best rides along as one
+    #: extra candidate while ``memetic`` is on).  Injection replaces at
+    #: most ``population_size - 1`` individuals, so a count at or above
+    #: the population size is valid and simply clamps.
+    warmstart_count: int = 8
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -115,6 +146,18 @@ class GAConfig:
             raise ValidationError(f"unknown idle weighting {self.idle_weighting!r}")
         if self.early_stop_after is not None and self.early_stop_after < 1:
             raise ValidationError("early_stop_after must be >= 1 (or None)")
+        if self.kernel not in (None, "reference", "batched", "vectorized"):
+            raise ValidationError(f"unknown kernel {self.kernel!r}")
+        if self.warmstart_count < 0:
+            raise ValidationError("warmstart_count must be >= 0")
+
+    @property
+    def effective_kernel(self) -> str:
+        """The kernel that will actually run: explicit ``kernel`` wins,
+        otherwise the legacy ``batched`` flag picks batched/reference."""
+        if self.kernel is not None:
+            return self.kernel
+        return "batched" if self.batched else "reference"
 
 
 class GAScheduler:
@@ -657,12 +700,12 @@ class GAScheduler:
         total = 2 * pair_count + (len(parents) % 2)
         child_order = np.empty((total, m), dtype=self._order.dtype)
         child_masks = np.empty((total, m, n), dtype=bool)
-        if cfg.batched:
-            self._children_batched(
+        if cfg.effective_kernel == "reference":
+            self._children_reference(
                 child_order, child_masks, pa, pb, do_cross, cuts, points
             )
         else:
-            self._children_reference(
+            self._children_batched(
                 child_order, child_masks, pa, pb, do_cross, cuts, points
             )
         if len(parents) % 2 == 1:
@@ -757,20 +800,13 @@ class GAScheduler:
         earliest-free node subset minimising its completion time (the same
         argument as :func:`repro.scheduling.fifo.earliest_free_allocation`:
         on a homogeneous resource only the k earliest-free nodes need
-        considering for each size k).
+        considering for each size k).  Delegates to the shared allocator in
+        :mod:`repro.scheduling.warmstart`, which also maps the warm-start
+        seed orderings.
         """
-        free = np.maximum(np.asarray(node_free_times, dtype=float), ref_time)
-        n = free.size
-        masks = np.zeros((len(order_row), n), dtype=bool)
-        for row in order_row:
-            idx = np.argsort(free, kind="stable")
-            start_k = np.maximum.accumulate(free[idx])
-            comp_k = start_k + self._dtable[row]
-            k = int(np.argmin(comp_k)) + 1
-            chosen = idx[:k]
-            masks[row, chosen] = True
-            free[chosen] = comp_k[k - 1]
-        return masks
+        return greedy_allocation_masks(
+            order_row, self._dtable, node_free_times, ref_time
+        )
 
     # --------------------------------------------------------------- evolution
 
@@ -811,6 +847,280 @@ class GAScheduler:
                 memo[digest] = float(cand_cost)
         return costs
 
+    def _vector_costs(
+        self,
+        order: np.ndarray,
+        masks: np.ndarray,
+        node_free_times: Sequence[float],
+        ref_time: float,
+    ) -> np.ndarray:
+        """eq.-(8) costs through the lean whole-population evaluator."""
+        self._stats.evaluate_calls += 1
+        return vectorized_costs(
+            order,
+            masks,
+            self._dtable,
+            self._deadline_arr,
+            node_free_times,
+            ref_time,
+            self._config.weights,
+            self._config.idle_weighting,
+        )
+
+    def _warmstart_inject(
+        self,
+        costs: np.ndarray,
+        node_free_times: Sequence[float],
+        ref_time: float,
+    ) -> np.ndarray:
+        """Replace the worst individuals with winning list-scheduling seeds.
+
+        The vectorized kernel's once-per-``evolve`` analogue of the
+        per-generation memetic step: build ``warmstart_count`` seeds
+        (:func:`repro.scheduling.warmstart.warmstart_population`) plus —
+        while ``memetic`` is on — the greedy re-map of the incumbent best
+        ordering, cost them all in one evaluator call, and replace the
+        worst individuals pairwise (best seed against worst incumbent)
+        wherever the seed wins.  With elitism this bounds the kernel's
+        best cost by the best greedy schedule from generation 0 on, which
+        is what makes the cost-parity gate hold without per-generation
+        greedy re-maps.
+        """
+        assert self._order is not None and self._masks is not None
+        cfg = self._config
+        pop = self._order.shape[0]
+        order_parts = []
+        if cfg.warmstart_count > 0:
+            order_parts.append(
+                warmstart_orders(
+                    self._dtable,
+                    self._deadline_arr,
+                    cfg.warmstart_count,
+                    self._rng,
+                )
+            )
+        if cfg.memetic:
+            order_parts.append(self._order[int(np.argmin(costs))][None, :])
+        if not order_parts:
+            return costs
+        w_orders = np.concatenate(order_parts)
+        w_masks = greedy_allocation_masks_batch(
+            w_orders, self._dtable, node_free_times, ref_time
+        )
+        seed_costs = self._vector_costs(w_orders, w_masks, node_free_times, ref_time)
+        self._stats.rows_costed += seed_costs.size
+        self._stats.rows_evaluated += seed_costs.size
+        count = min(seed_costs.size, pop - 1)
+        seed_rank = np.argsort(seed_costs, kind="stable")[:count]
+        worst_rank = np.argsort(costs, kind="stable")[::-1][:count]
+        take = seed_costs[seed_rank] < costs[worst_rank]
+        if take.any():
+            rows = worst_rank[take]
+            seeds = seed_rank[take]
+            self._order[rows] = w_orders[seeds]
+            self._masks[rows] = w_masks[seeds]
+            costs = costs.copy()
+            costs[rows] = seed_costs[seeds]
+            self._stats.warmstart_seeds += int(take.sum())
+        return costs
+
+    def _memetic_vectorized(
+        self,
+        costs: np.ndarray,
+        cached: Optional[Tuple[np.ndarray, np.ndarray, float]],
+        node_free_times: Sequence[float],
+        ref_time: float,
+    ) -> Tuple[np.ndarray, Optional[Tuple[np.ndarray, np.ndarray, float]]]:
+        """The memetic step with the candidate cached between generations.
+
+        The reference kernel greedily re-maps the incumbent best ordering
+        *every* generation and injects the result over the worst
+        individual.  The greedy re-map is a pure function of (ordering,
+        availability) and availability is fixed within one ``evolve``
+        call, so this keeps the last ``(ordering, masks, cost)`` candidate
+        and only recomputes when the incumbent's ordering changed — on a
+        converged population almost never.  Re-*injection* over the worst
+        individual still happens every generation the candidate wins
+        (selection churn can drop a previously injected copy), which is a
+        pair of array copies, not an evaluation.  Mutates *costs* in
+        place (the caller owns the freshly concatenated vector).
+        """
+        assert self._order is not None and self._masks is not None
+        best = int(np.argmin(costs))
+        border = self._order[best]
+        if cached is None or not np.array_equal(border, cached[0]):
+            cand_masks = greedy_allocation_masks(
+                border, self._dtable, node_free_times, ref_time
+            )
+            cand_cost = float(
+                self._vector_costs(
+                    border[None, :], cand_masks[None, :, :],
+                    node_free_times, ref_time,
+                )[0]
+            )
+            self._stats.rows_costed += 1
+            self._stats.rows_evaluated += 1
+            cached = (border.copy(), cand_masks, cand_cost)
+        cand_order, cand_masks, cand_cost = cached
+        worst = int(np.argmax(costs))
+        if worst != best and cand_cost < costs[worst]:
+            self._order[worst] = cand_order
+            self._masks[worst] = cand_masks
+            costs[worst] = cand_cost
+        return costs, cached
+
+    def _evolve_vectorized(
+        self,
+        generations: int,
+        node_free_times: Sequence[float],
+        ref_time: float,
+    ) -> float:
+        """The ``kernel="vectorized"`` generation loop (see module notes).
+
+        Structurally the same cost → fitness → elites → selection →
+        crossover → mutation cycle as the reference loop, with three
+        deliberate differences:
+
+        * **children-only costing** — elites re-enter unchanged, so their
+          costs are carried structurally (counted as ``carry_hits``)
+          instead of re-derived through the digest memo;
+        * **array-drawn randomness** — a fixed number of RNG calls per
+          generation (see :mod:`repro.scheduling.vectorized`), which is
+          why this kernel's stream diverges from the reference;
+        * **warm-start injection once per call** in place of the
+          per-generation memetic re-map.
+
+        In-batch dedup is deliberately skipped: at case-study sizes the
+        digest loop costs more than the evaluations it saves, and the
+        lean evaluator makes redundant rows cheap (docs/performance.md).
+        The memetic refinement survives in two cheaper forms: the greedy
+        re-map of the incumbent best rides the warm-start injection, and
+        per generation it re-runs **only when the incumbent's ordering
+        changed** — the greedy re-map is a pure function of (ordering,
+        availability), so repeating it on an unchanged ordering cannot
+        produce a new candidate.
+        """
+        assert self._order is not None and self._masks is not None
+        cfg = self._config
+        stats = self._stats
+        rng = self._rng
+        self._invalidate_cost_cache()
+        generations_before = self._generations
+        history_before = len(self._history)
+        costs = self._vector_costs(
+            self._order, self._masks, node_free_times, ref_time
+        )
+        stats.rows_costed += costs.size
+        stats.rows_evaluated += costs.size
+        costs = self._warmstart_inject(costs, node_free_times, ref_time)
+        best_seen = float(costs.min())
+        stalled = 0
+        pop = cfg.population_size
+        m = len(self._id_order)
+        n = self._n
+        elite = cfg.elite_count
+        n_children = pop - elite
+        pairs = n_children // 2
+        p_cross = cfg.crossover_probability
+        p_swap = cfg.swap_probability
+        p_flip = cfg.bitflip_probability
+        do_swaps = m >= 2 and p_swap > 0
+        last_memetic: Optional[Tuple[np.ndarray, np.ndarray, float]] = None
+        done = 0
+        stop = False
+        while done < generations and not stop:
+            # Pre-draw a block of generations' positional randomness in a
+            # handful of array RNG calls (a scalar `rng.integers` costs as
+            # much as a whole-population array draw).
+            block = min(32, generations - done)
+            if pairs:
+                cross_flags = rng.random((block, pairs)) < p_cross
+                cuts_b = rng.integers(0, m + 1, size=(block, pairs))
+                points_b = rng.integers(0, m * n + 1, size=(block, pairs))
+            if do_swaps:
+                swap_flags = rng.random((block, n_children)) < p_swap
+                swap_i = rng.integers(0, m, size=(block, n_children))
+                swap_j = rng.integers(0, m - 1, size=(block, n_children))
+            for t in range(block):
+                fitness = scale_fitness(costs)
+                elite_idx = np.argsort(costs, kind="stable")[:elite]
+                parents = vectorized_selection(fitness, n_children, rng)
+                if pairs:
+                    child_order, child_masks = vectorized_children(
+                        self._order,
+                        self._masks,
+                        parents,
+                        cross_flags[t],
+                        cuts_b[t],
+                        points_b[t],
+                    )
+                else:
+                    child_order = self._order[parents].copy()
+                    child_masks = self._masks[parents].copy()
+                flip_idx = (
+                    bernoulli_indices(rng, n_children * m * n, p_flip)
+                    if p_flip > 0
+                    else None
+                )
+                vectorized_mutation(
+                    child_order,
+                    child_masks,
+                    swap_flags[t] if do_swaps else None,
+                    swap_i[t] if do_swaps else None,
+                    swap_j[t] if do_swaps else None,
+                    flip_idx,
+                    rng,
+                )
+                child_costs = self._vector_costs(
+                    child_order, child_masks, node_free_times, ref_time
+                )
+                self._order = np.concatenate(
+                    [self._order[elite_idx], child_order]
+                )
+                self._masks = np.concatenate(
+                    [self._masks[elite_idx], child_masks]
+                )
+                costs = np.concatenate([costs[elite_idx], child_costs])
+                stats.rows_costed += pop
+                stats.rows_evaluated += n_children
+                stats.carry_hits += elite_idx.size
+                if cfg.memetic:
+                    costs, last_memetic = self._memetic_vectorized(
+                        costs, last_memetic, node_free_times, ref_time
+                    )
+                self._generations += 1
+                new_best = float(costs.min())
+                self._history.append((self._generations, new_best))
+                if cfg.early_stop_after is not None:
+                    if new_best < best_seen:
+                        best_seen = new_best
+                        stalled = 0
+                    else:
+                        stalled += 1
+                        if stalled >= cfg.early_stop_after:
+                            stats.early_stops += 1
+                            stop = True
+                            break
+            done += block
+        if cfg.eval_reuse:
+            self._store_cost_cache(costs, node_free_times, ref_time)
+        best_cost = float(costs.min())
+        if self._tracer is not None:
+            self._tracer.emit(
+                EvolveStep(
+                    t=float(ref_time),
+                    resource=self._trace_name,
+                    n_tasks=self.n_tasks,
+                    generations=self._generations - generations_before,
+                    best_cost=best_cost,
+                    history=tuple(
+                        best for _, best in self._history[history_before:]
+                    ),
+                    kernel="vectorized",
+                )
+            )
+        return best_cost
+
     def evolve(
         self,
         generations: int,
@@ -840,6 +1150,8 @@ class GAScheduler:
             return 0.0
         assert self._masks is not None
         cfg = self._config
+        if cfg.effective_kernel == "vectorized":
+            return self._evolve_vectorized(generations, node_free_times, ref_time)
         self._invalidate_cost_cache()
         # The evolve-scoped digest→cost memo: availability is fixed for
         # the whole call, so every cost computed in one generation is
@@ -892,6 +1204,7 @@ class GAScheduler:
                     history=tuple(
                         best for _, best in self._history[history_before:]
                     ),
+                    kernel=cfg.effective_kernel,
                 )
             )
         return best_cost
@@ -979,6 +1292,7 @@ class GAScheduler:
         from repro.checkpoint.codec import encode_ndarray
 
         return {
+            "kernel": self._config.effective_kernel,
             "id_order": list(self._id_order),
             "dtable": encode_ndarray(self._dtable),
             "deadlines": [float(d) for d in self._deadline_arr],
@@ -1000,9 +1314,26 @@ class GAScheduler:
         }
 
     def restore_state(self, state: dict) -> None:
-        """Rebuild the population exactly as snapshot (RNG restored elsewhere)."""
+        """Rebuild the population exactly as snapshot (RNG restored elsewhere).
+
+        The batched and reference kernels share one RNG protocol and are
+        byte-identical, so snapshots move freely between them (and old
+        snapshots without a ``kernel`` key are one of the two).  The
+        vectorized kernel consumes a different stream, so crossing the
+        vectorized/byte-identical boundary in either direction is refused
+        — a resumed run would silently diverge from its uninterrupted
+        twin.
+        """
         from repro.checkpoint.codec import decode_ndarray
 
+        snap_kernel = state.get("kernel")
+        current = self._config.effective_kernel
+        if snap_kernel is not None and snap_kernel != current:
+            if "vectorized" in (snap_kernel, current):
+                raise ScheduleError(
+                    f"snapshot was taken under kernel {snap_kernel!r}, "
+                    f"scheduler is configured for {current!r}"
+                )
         self._id_order = [int(t) for t in state["id_order"]]
         self._row_of = {tid: row for row, tid in enumerate(self._id_order)}
         self._dtable = decode_ndarray(state["dtable"])

@@ -71,6 +71,84 @@ class TestRunMany:
             assert same_result(par, seq)
 
 
+class TestWorkerClamp:
+    """``jobs`` is an upper bound: the pool never exceeds cores or work.
+
+    Oversubscribing a box with more processes than cores only adds
+    scheduler churn (the committed ``sweep_speedup < 1`` on a 1-CPU
+    runner is that failure mode), and a clamp that lands on one worker
+    must short-circuit to the in-process path — no pool, no pickling.
+    """
+
+    class FakePool:
+        """Records ``max_workers`` and runs submissions inline."""
+
+        created: list = []
+
+        def __init__(self, max_workers=None, mp_context=None):
+            TestWorkerClamp.FakePool.created.append(max_workers)
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, fn, *args):
+            value = fn(*args)
+
+            class Done:
+                def result(self):
+                    return value
+
+            return Done()
+
+    @pytest.fixture(autouse=True)
+    def reset_fake(self):
+        self.FakePool.created = []
+
+    def jobs_list(self, count):
+        return [
+            ExperimentJob(base_config(REQUESTS, name=f"c{i}", master_seed=2003 + i))
+            for i in range(count)
+        ]
+
+    def test_one_cpu_short_circuits_to_sequential(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 1)
+        monkeypatch.setattr(
+            "repro.experiments.parallel.ProcessPoolExecutor", self.FakePool
+        )
+        results = run_many(self.jobs_list(2), jobs=4)
+        assert len(results) == 2
+        assert self.FakePool.created == []  # no pool was built
+
+    def test_single_pending_job_never_builds_a_pool(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            "repro.experiments.parallel.ProcessPoolExecutor", self.FakePool
+        )
+        [result] = run_many(self.jobs_list(1), jobs=4)
+        assert self.FakePool.created == []
+
+    def test_workers_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 2)
+        monkeypatch.setattr(
+            "repro.experiments.parallel.ProcessPoolExecutor", self.FakePool
+        )
+        results = run_many(self.jobs_list(3), jobs=16)
+        assert len(results) == 3
+        assert self.FakePool.created == [2]
+
+    def test_workers_clamped_to_pending_jobs(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            "repro.experiments.parallel.ProcessPoolExecutor", self.FakePool
+        )
+        results = run_many(self.jobs_list(2), jobs=16)
+        assert len(results) == 2
+        assert self.FakePool.created == [2]
+
+
 class TestManifest:
     """Crash-resumable sweeps: completed jobs are reloaded, not re-run."""
 

@@ -5,11 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.perf import (
+    DERIVED_RATIOS,
     PARALLELISM_BENCHMARKS,
     BenchResult,
     Regression,
     check_regression,
+    merge_suite_doc,
     render_report,
+    run_perf_cli,
     run_suite,
     select_benchmarks,
 )
@@ -122,6 +125,98 @@ class TestCpuCountSkip:
         assert check_regression(current, base) == []
 
 
+class TestMergeSuiteDoc:
+    """``perf --update`` folds a partial run into the committed document."""
+
+    def test_fresh_overrides_and_rest_carries_over(self):
+        existing = doc(ga_evolve_reference=(500.0, True), casestudy_wall=(4.0, False))
+        fresh = doc(ga_evolve_reference=(520.0, True),
+                    ga_evolve_vectorized=(2200.0, True))
+        merged = merge_suite_doc(existing, fresh)
+        assert merged["benchmarks"]["ga_evolve_reference"]["value"] == 520.0
+        assert merged["benchmarks"]["ga_evolve_vectorized"]["value"] == 2200.0
+        assert merged["benchmarks"]["casestudy_wall"]["value"] == 4.0
+
+    def test_derived_ratios_recomputed_from_merged_set(self):
+        # The vectorized numerator comes from the fresh run, the reference
+        # denominator from the existing document: the merge must still
+        # produce the ratio.
+        existing = doc(ga_evolve_reference=(500.0, True))
+        fresh = doc(ga_evolve_vectorized=(2000.0, True))
+        merged = merge_suite_doc(existing, fresh)
+        assert merged["derived"]["ga_evolve_vectorized_speedup"] == 4.0
+
+    def test_meta_comes_from_fresh(self):
+        existing = doc(cpu_count=8, a=(1.0, True))
+        fresh = doc(cpu_count=1, b=(1.0, True))
+        merged = merge_suite_doc(existing, fresh)
+        assert merged["meta"]["machine"]["cpu_count"] == 1
+
+    def test_no_existing_document_returns_fresh(self):
+        fresh = doc(a=(1.0, True))
+        assert merge_suite_doc(None, fresh) is fresh
+        assert merge_suite_doc({}, fresh) is fresh
+
+    def test_zero_denominator_ratio_dropped(self):
+        existing = doc(ga_evolve_reference=(0.0, True))
+        fresh = doc(ga_evolve_vectorized=(2000.0, True))
+        merged = merge_suite_doc(existing, fresh)
+        assert "ga_evolve_vectorized_speedup" not in merged["derived"]
+
+
+class TestRunPerfCliUpdate:
+    """The ``--update`` flag rewrites the output file in place."""
+
+    @staticmethod
+    def fake_suite(monkeypatch, **values):
+        fresh = doc(**values)
+        monkeypatch.setattr("repro.perf.run_suite",
+                            lambda **kwargs: dict(fresh))
+        return fresh
+
+    def test_update_merges_into_existing_output(self, tmp_path, monkeypatch):
+        import json
+
+        output = tmp_path / "BENCH_PERF.json"
+        existing = doc(casestudy_wall=(4.0, False), ga_evolve_reference=(500.0, True))
+        output.write_text(json.dumps(existing))
+        self.fake_suite(monkeypatch, ga_evolve_vectorized=(2000.0, True))
+        assert run_perf_cli(str(output), update=True) == 0
+        written = json.loads(output.read_text())
+        assert written["benchmarks"]["casestudy_wall"]["value"] == 4.0
+        assert written["benchmarks"]["ga_evolve_vectorized"]["value"] == 2000.0
+        assert written["derived"]["ga_evolve_vectorized_speedup"] == 4.0
+
+    def test_without_update_subset_overwrites(self, tmp_path, monkeypatch):
+        import json
+
+        output = tmp_path / "BENCH_PERF.json"
+        existing = doc(casestudy_wall=(4.0, False))
+        output.write_text(json.dumps(existing))
+        self.fake_suite(monkeypatch, ga_evolve_vectorized=(2000.0, True))
+        assert run_perf_cli(str(output), update=False) == 0
+        written = json.loads(output.read_text())
+        assert "casestudy_wall" not in written["benchmarks"]
+
+    def test_update_still_gates_against_prior_content(self, tmp_path, monkeypatch):
+        import json
+
+        output = tmp_path / "BENCH_PERF.json"
+        existing = doc(ga_evolve_vectorized=(2000.0, True))
+        output.write_text(json.dumps(existing))
+        self.fake_suite(monkeypatch, ga_evolve_vectorized=(1000.0, True))  # 50% drop
+        assert run_perf_cli(str(output), update=True) == 1
+
+    def test_update_without_existing_file_writes_fresh(self, tmp_path, monkeypatch):
+        import json
+
+        output = tmp_path / "BENCH_PERF.json"
+        self.fake_suite(monkeypatch, ga_evolve_vectorized=(2000.0, True))
+        assert run_perf_cli(str(output), update=True) == 0
+        written = json.loads(output.read_text())
+        assert written["benchmarks"]["ga_evolve_vectorized"]["value"] == 2000.0
+
+
 class TestSelectBenchmarks:
     """``--only SUBSTRING`` narrows the suite without running anything."""
 
@@ -135,6 +230,14 @@ class TestSelectBenchmarks:
         assert "ga_evaluate_dedup" in all_names
         assert "casestudy_wall" in all_names
         assert self.names(select_benchmarks([])) == all_names
+
+    def test_vectorized_and_warmstart_in_suite(self):
+        all_names = self.names(select_benchmarks(None))
+        assert "ga_evolve_vectorized" in all_names
+        assert "ga_warmstart_convergence" in all_names
+        assert DERIVED_RATIOS["ga_evolve_vectorized_speedup"] == (
+            "ga_evolve_vectorized", "ga_evolve_reference"
+        )
 
     def test_substring_selects_matching_group(self):
         selected = self.names(select_benchmarks(["dedup"]))
