@@ -180,6 +180,10 @@ def decode_config(data: Dict[str, Any]):
                 None if faults is None else FaultPlanSpec.from_json(json.dumps(faults))
             ),
             churn=churn_spec,
+            # Snapshots written before engine selection existed carry no
+            # "engine" key; they restore onto the partitioned engine, which
+            # replays byte-identically (the engines are equivalence-tested).
+            engine=str(data.get("engine", "partitioned")),
         )
     except (KeyError, TypeError) as exc:
         raise CheckpointError(f"snapshot config does not match this build: {exc}")

@@ -190,6 +190,42 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rewrite a resumable snapshot at every window "
                       "boundary")
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="generate a parametric scale scenario (grid + workload); "
+        "optionally run it",
+    )
+    scenario.add_argument("--agents", type=int, default=500, metavar="N",
+                          help="grid size in agents/clusters (1-5000)")
+    scenario.add_argument("--branching", type=int, default=3, metavar="K",
+                          help="hierarchy fan-out (complete K-ary tree)")
+    scenario.add_argument("--nproc", type=int, default=16, metavar="N",
+                          help="processing nodes per cluster")
+    scenario.add_argument("--arrival", default="poisson",
+                          choices=("uniform", "poisson", "mmpp", "diurnal",
+                                   "pareto"),
+                          help="arrival process for the request stream")
+    scenario.add_argument("--rate", type=float, default=1.0, metavar="R",
+                          help="mean arrival rate in requests per virtual "
+                          "second")
+    scenario.add_argument("--requests", type=int, default=600)
+    scenario.add_argument("--seed", type=int, default=2003)
+    scenario.add_argument("--deadline-scale", type=float, default=1.0,
+                          metavar="F",
+                          help="multiplier on every drawn deadline offset")
+    scenario.add_argument("--policy", default="fifo", choices=("fifo", "ga"),
+                          help="scheduling policy when running the scenario")
+    scenario.add_argument("--engine", default="partitioned",
+                          choices=("partitioned", "single-heap"),
+                          help="event engine to run the scenario on")
+    scenario.add_argument("--run", action="store_true",
+                          help="run the generated scenario to completion "
+                          "(default: only print its shape and fingerprint)")
+    scenario.add_argument("--check", action="store_true",
+                          help="run with tracing on and the trace invariant "
+                          "checker; exit non-zero on any violation "
+                          "(implies --run)")
+
     workload = sub.add_parser("workload", help="inspect the seeded workload")
     workload.add_argument("--requests", type=int, default=600)
     workload.add_argument("--seed", type=int, default=2003)
@@ -575,6 +611,73 @@ def _cmd_soak(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    from repro.experiments.scenarios import (
+        ScenarioSpec,
+        generate_scenario,
+        scenario_fingerprint,
+    )
+    from repro.scheduling.scheduler import SchedulingPolicy
+
+    spec = ScenarioSpec(
+        name=f"a{args.agents}-{args.arrival}",
+        agent_count=args.agents,
+        branching=args.branching,
+        nproc=args.nproc,
+        request_count=args.requests,
+        rate=args.rate,
+        arrival=args.arrival,
+        deadline_scale=args.deadline_scale,
+        master_seed=args.seed,
+    )
+    scenario = generate_scenario(spec)
+    summary = scenario.summary()
+    rows = [
+        [key, f"{value:.2f}" if isinstance(value, float) else str(value)]
+        for key, value in summary.items()
+    ]
+    print(render_table(["property", "value"], rows,
+                       title=f"Scenario {spec.name} (seed {spec.master_seed})"))
+    print(f"fingerprint: {scenario_fingerprint(scenario)}")
+    if not (args.run or args.check):
+        return 0
+
+    config = spec.config(
+        policy=(SchedulingPolicy.GA if args.policy == "ga"
+                else SchedulingPolicy.FIFO),
+        engine=args.engine,
+    )
+    tracer = None
+    if args.check:
+        from repro.obs import MemorySink, Tracer
+
+        tracer = Tracer(MemorySink())
+    from repro.experiments.runner import run_experiment
+
+    print(f"Running {config.name} ({len(scenario.workload)} requests, "
+          f"{args.agents} agents, {args.engine} engine)...", file=sys.stderr)
+    result = run_experiment(
+        config,
+        scenario.topology,
+        workload=list(scenario.workload),
+        tracer=tracer,
+    )
+    print(f"records: {len(result.records)}, rejected: {result.rejected_count}, "
+          f"messages: {result.messages_sent}")
+    print(f"rng digest: {result.rng_digest}")
+    if args.check:
+        from repro.obs import check_trace
+
+        violations = check_trace(tracer.records)
+        if violations:
+            for violation in violations:
+                print(f"  FAIL  {violation}")
+            return 1
+        print("  PASS  all trace invariants hold "
+              f"({len(tracer.records)} records checked)")
+    return 0
+
+
 def _cmd_workload(requests: int, seed: int, head: int) -> None:
     from repro.experiments.casestudy import case_study_topology
 
@@ -643,6 +746,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_resume(args)
     elif args.command == "soak":
         return _cmd_soak(args)
+    elif args.command == "scenario":
+        return _cmd_scenario(args)
     elif args.command == "workload":
         _cmd_workload(args.requests, args.seed, args.head)
     elif args.command == "predict":

@@ -62,6 +62,11 @@ class ExperimentConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     faults: Optional[FaultPlanSpec] = None
     churn: Optional[ChurnSpec] = None
+    # Event-engine selection: "partitioned" (per-cluster lanes) or
+    # "single-heap" (the preserved seed engine, kept as a correctness
+    # oracle and perf baseline).  Byte-identical outputs either way —
+    # property-tested in tests/properties/test_engine_equivalence.py.
+    engine: str = "partitioned"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -80,6 +85,8 @@ class ExperimentConfig:
             raise ExperimentError(f"unknown advertisement {self.advertisement!r}")
         if self.freetime_mode not in ("makespan", "mean", "min"):
             raise ExperimentError(f"unknown freetime_mode {self.freetime_mode!r}")
+        if self.engine not in ("partitioned", "single-heap"):
+            raise ExperimentError(f"unknown engine {self.engine!r}")
         if not self.agents_enabled and not self.discovery.local_only:
             # Keep the two flags coherent: no agents => local-only discovery.
             object.__setattr__(

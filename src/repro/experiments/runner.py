@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.agents.advertisement import (
     AdvertisementStrategy,
@@ -40,6 +40,7 @@ from repro.pace.workloads import ApplicationSpec, paper_application_specs
 from repro.scheduling.scheduler import LocalScheduler, SchedulingPolicy
 from repro.sim.engine import Engine
 from repro.sim.events import Priority
+from repro.sim.reference import SingleHeapEngine
 from repro.tasks.execution import ExecutionMode
 from repro.tasks.task import Environment
 from repro.utils.rng import RngRegistry
@@ -58,6 +59,12 @@ __all__ = [
 #: far above any legitimate run (the full case study fires ~10^5 events).
 MAX_EVENTS = 20_000_000
 
+#: The engines :func:`build_grid` can assemble — selected by
+#: ``ExperimentConfig.engine``.  Identical surface, property-tested
+#: byte-identical outputs; the single-heap engine is the preserved seed
+#: implementation kept as oracle and perf baseline.
+EngineType = Union[Engine, SingleHeapEngine]
+
 
 @dataclass
 class GridSystem:
@@ -65,7 +72,7 @@ class GridSystem:
 
     config: ExperimentConfig
     topology: GridTopology
-    sim: Engine
+    sim: EngineType
     transport: Transport
     evaluator: EvaluationEngine
     schedulers: Dict[str, LocalScheduler]
@@ -130,7 +137,11 @@ def build_grid(
     """
     topo = topology if topology is not None else case_study_topology()
     rngs = RngRegistry(config.master_seed)
-    sim = Engine(tracer=tracer)
+    sim: EngineType = (
+        Engine(tracer=tracer)
+        if config.engine == "partitioned"
+        else SingleHeapEngine(tracer=tracer)
+    )
     transport = Transport(sim, tracer=tracer)
     evaluator = EvaluationEngine(
         noise_factor=config.prediction_noise,
@@ -143,8 +154,11 @@ def build_grid(
         resource = ResourceModel.homogeneous(
             name, topo.platform(name), topo.nproc[name]
         )
+        # Each cluster's scheduler (and its executor, monitor, and agent
+        # timers downstream) schedules through its own event lane; only
+        # cross-cluster traffic shares the default lane.
         scheduler = LocalScheduler(
-            sim,
+            sim.lane_view(name),
             resource,
             evaluator,
             policy=config.policy,
@@ -176,8 +190,15 @@ def build_grid(
             resilience=config.resilience,
             tracer=tracer,
         )
+        transport.assign_lane(agents[name].endpoint, name)
     hierarchy = wire_hierarchy(agents, dict(topo.parent_of))
-    portal = UserPortal(transport, sim, resilience=config.resilience, tracer=tracer)
+    portal = UserPortal(
+        transport,
+        sim.lane_view(PORTAL_NAME),
+        resilience=config.resilience,
+        tracer=tracer,
+    )
+    transport.assign_lane(portal.endpoint, PORTAL_NAME)
     if config.faults is not None:
         endpoints = {name: agent.endpoint for name, agent in agents.items()}
         endpoints[PORTAL_NAME] = portal.endpoint
@@ -254,6 +275,7 @@ def run_experiment(
             _submitter(system, item),
             priority=Priority.ARRIVAL,
             label=f"arrival-{item.application}",
+            lane=item.agent_name,
         )
         for index, item in enumerate(items)
     }
@@ -308,6 +330,7 @@ def checkpoint_experiment(
             _submitter(system, item),
             priority=Priority.ARRIVAL,
             label=f"arrival-{item.application}",
+            lane=item.agent_name,
         )
         for index, item in enumerate(items)
     }

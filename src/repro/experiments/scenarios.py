@@ -1,0 +1,369 @@
+"""Parametric scenario generation: grids and workloads beyond the paper.
+
+The case study stops at 12 agents and 600 metronomic requests.  This module
+generates whole experiment *scenarios* — topology plus workload — across
+the scale axis the ROADMAP targets (12 → 5000 agents) and across arrival
+processes real portals exhibit:
+
+========== ==============================================================
+uniform    the paper's metronomic arrivals (one per ``1/rate`` seconds)
+poisson    memoryless arrivals at mean *rate*
+mmpp       2-state Markov-modulated Poisson process: quiet periods
+           punctuated by bursts at ``burst_multiplier`` × the base rate
+diurnal    sinusoidally rate-modulated Poisson (Lewis–Shedler thinning),
+           a day/night load cycle compressed to ``diurnal_period`` seconds
+pareto     heavy-tailed inter-arrival gaps (Pareto-I with shape
+           ``pareto_alpha``), same mean gap as the Poisson case
+========== ==============================================================
+
+Everything is drawn from named :class:`~repro.utils.rng.RngRegistry`
+streams of the spec's master seed, so a scenario is a pure function of its
+spec: the same spec always yields a byte-identical grid and workload
+(property-tested), and generated runs checkpoint, resume, and replay like
+the paper-scale ones.  Two independent streams are used on purpose —
+``scenario-topology`` for the hardware mix and ``scenario-workload`` for
+request targeting — so changing the arrival process never reshuffles which
+agent or application a request hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.casestudy import GridTopology
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workload import WorkloadItem
+from repro.pace.hardware import DEFAULT_CATALOGUE
+from repro.pace.workloads import paper_application_specs
+from repro.scheduling.scheduler import SchedulingPolicy
+from repro.utils.rng import RngRegistry
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "CASE_STUDY_MIX",
+    "MAX_AGENTS",
+    "Scenario",
+    "ScenarioSpec",
+    "generate_scenario",
+    "generate_topology",
+    "generate_arrival_times",
+    "scenario_fingerprint",
+]
+
+#: Supported arrival processes (see the module table).
+ARRIVAL_PROCESSES = ("uniform", "poisson", "mmpp", "diurnal", "pareto")
+
+#: Ceiling on generated grid size — the ROADMAP's 100× target with slack.
+MAX_AGENTS = 5000
+
+#: The case study's hardware proportions (Fig. 7: 2/2/3/3/2 agents across
+#: the PACE platform table) as sampling weights — the default mix keeps
+#: generated grids as heterogeneous as the paper's.
+CASE_STUDY_MIX: Mapping[str, float] = {
+    "SGIOrigin2000": 2.0,
+    "SunUltra10": 2.0,
+    "SunUltra5": 3.0,
+    "SunUltra1": 3.0,
+    "SunSPARCstation2": 2.0,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Full parameterisation of one generated scenario.
+
+    Parameters
+    ----------
+    agent_count:
+        Grid size, 1–:data:`MAX_AGENTS` agents (one cluster each).
+    branching:
+        Hierarchy fan-out: agents form a complete *branching*-ary tree
+        (depth therefore ≈ ``log_branching(agent_count)``).
+    nproc:
+        Processing nodes per cluster (the paper uses 16).
+    hardware_mix:
+        Platform-name → sampling weight over the PACE catalogue; defaults
+        to the case study's proportions.
+    request_count / rate:
+        Workload length and mean arrival rate (requests per virtual
+        second) — every arrival process is parameterised to this mean.
+    arrival:
+        One of :data:`ARRIVAL_PROCESSES`.
+    burst_multiplier / burst_mean_s / calm_mean_s:
+        MMPP shape: bursts arrive at ``rate × burst_multiplier`` and the
+        state holding times are exponential with these means.
+    diurnal_period_s / diurnal_amplitude:
+        Diurnal shape: ``rate(t) = rate · (1 + amplitude·sin(2πt/period))``.
+    pareto_alpha:
+        Pareto tail index (must exceed 1 so the mean gap exists; smaller
+        = heavier tail).
+    deadline_scale:
+        Multiplier on every drawn Table-1 deadline offset.
+    master_seed:
+        Seed for every stream the generator draws from.
+    """
+
+    name: str
+    agent_count: int
+    branching: int = 3
+    nproc: int = 16
+    hardware_mix: Mapping[str, float] = field(
+        default_factory=lambda: dict(CASE_STUDY_MIX)
+    )
+    request_count: int = 600
+    rate: float = 1.0
+    arrival: str = "poisson"
+    burst_multiplier: float = 8.0
+    burst_mean_s: float = 10.0
+    calm_mean_s: float = 60.0
+    diurnal_period_s: float = 600.0
+    diurnal_amplitude: float = 0.8
+    pareto_alpha: float = 1.5
+    deadline_scale: float = 1.0
+    master_seed: int = 2003
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("scenario name must be non-empty")
+        if not (1 <= self.agent_count <= MAX_AGENTS):
+            raise ExperimentError(
+                f"agent_count must be in [1, {MAX_AGENTS}], got {self.agent_count}"
+            )
+        if self.branching < 1:
+            raise ExperimentError(f"branching must be >= 1, got {self.branching}")
+        if self.nproc < 1:
+            raise ExperimentError(f"nproc must be >= 1, got {self.nproc}")
+        if not self.hardware_mix:
+            raise ExperimentError("hardware_mix must not be empty")
+        for platform, weight in self.hardware_mix.items():
+            if platform not in DEFAULT_CATALOGUE:
+                raise ExperimentError(f"unknown platform {platform!r} in mix")
+            if weight <= 0:
+                raise ExperimentError(
+                    f"platform {platform!r} has non-positive weight {weight}"
+                )
+        if self.request_count < 1:
+            raise ExperimentError("request_count must be >= 1")
+        if self.rate <= 0:
+            raise ExperimentError(f"rate must be > 0, got {self.rate}")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ExperimentError(f"unknown arrival process {self.arrival!r}")
+        if self.burst_multiplier < 1:
+            raise ExperimentError("burst_multiplier must be >= 1")
+        if self.burst_mean_s <= 0 or self.calm_mean_s <= 0:
+            raise ExperimentError("MMPP state holding means must be > 0")
+        if self.diurnal_period_s <= 0:
+            raise ExperimentError("diurnal_period_s must be > 0")
+        if not (0.0 <= self.diurnal_amplitude <= 1.0):
+            raise ExperimentError("diurnal_amplitude must be in [0, 1]")
+        if self.pareto_alpha <= 1:
+            raise ExperimentError(
+                f"pareto_alpha must be > 1 (finite mean), got {self.pareto_alpha}"
+            )
+        if self.deadline_scale <= 0:
+            raise ExperimentError("deadline_scale must be > 0")
+        if self.master_seed < 0:
+            raise ExperimentError("master_seed must be >= 0")
+
+    def config(
+        self,
+        *,
+        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        agents_enabled: bool = True,
+        **overrides,
+    ) -> ExperimentConfig:
+        """An :class:`ExperimentConfig` matched to this scenario.
+
+        Request count, mean interval, and master seed mirror the spec;
+        the policy defaults to FIFO because scale-tier runs measure the
+        engine and fabric, not the GA (pass ``policy=SchedulingPolicy.GA``
+        for paper-faithful scheduling).  Any config field can be
+        overridden by keyword.
+        """
+        base = ExperimentConfig(
+            name=f"scenario-{self.name}",
+            policy=policy,
+            agents_enabled=agents_enabled,
+            request_count=self.request_count,
+            request_interval=1.0 / self.rate,
+            master_seed=self.master_seed,
+        )
+        return replace(base, **overrides) if overrides else base
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated scenario: its spec, the grid, and the request stream."""
+
+    spec: ScenarioSpec
+    topology: GridTopology
+    workload: Tuple[WorkloadItem, ...]
+
+    @property
+    def horizon(self) -> float:
+        """Submit time of the last request."""
+        return self.workload[-1].submit_time
+
+    def summary(self) -> Dict[str, object]:
+        """Shape of the scenario for reporting: sizes, mix, arrival stats."""
+        mix: Dict[str, int] = {}
+        for platform in self.topology.platforms.values():
+            mix[platform] = mix.get(platform, 0) + 1
+        gaps = [
+            b.submit_time - a.submit_time
+            for a, b in zip(self.workload, self.workload[1:])
+        ]
+        return {
+            "agents": self.spec.agent_count,
+            "total_nodes": self.topology.total_nodes,
+            "platform_mix": dict(sorted(mix.items())),
+            "arrival": self.spec.arrival,
+            "requests": len(self.workload),
+            "horizon_s": self.horizon,
+            "mean_gap_s": (sum(gaps) / len(gaps)) if gaps else 0.0,
+            "max_gap_s": max(gaps) if gaps else 0.0,
+        }
+
+
+def generate_topology(spec: ScenarioSpec) -> GridTopology:
+    """The spec's grid: a branching-ary tree with a seeded hardware mix.
+
+    Agents are named G1..Gn; G1 heads the hierarchy.  Platforms are drawn
+    independently per agent from ``hardware_mix`` via the
+    ``scenario-topology`` stream, so the same seed always builds the same
+    grid and a different seed redraws only the hardware assignment.
+    """
+    rng = RngRegistry(spec.master_seed).stream("scenario-topology")
+    names = [f"G{i + 1}" for i in range(spec.agent_count)]
+    platform_names = sorted(spec.hardware_mix)
+    weights = [spec.hardware_mix[p] for p in platform_names]
+    total = sum(weights)
+    probabilities = [w / total for w in weights]
+    draws = rng.choice(len(platform_names), size=len(names), p=probabilities)
+    platforms = {name: platform_names[int(k)] for name, k in zip(names, draws)}
+    parent_of: Dict[str, Optional[str]] = {
+        name: (None if i == 0 else names[(i - 1) // spec.branching])
+        for i, name in enumerate(names)
+    }
+    return GridTopology(
+        platforms=platforms,
+        parent_of=parent_of,
+        nproc={name: spec.nproc for name in names},
+    )
+
+
+def generate_arrival_times(spec: ScenarioSpec) -> List[float]:
+    """``request_count`` strictly increasing submit times for the spec.
+
+    All processes share the mean rate ``spec.rate``; they differ in
+    variance and correlation structure (see the module table).  Drawn
+    from the ``scenario-arrivals`` stream only.
+    """
+    rng = RngRegistry(spec.master_seed).stream("scenario-arrivals")
+    count = spec.request_count
+    mean_gap = 1.0 / spec.rate
+    times: List[float] = []
+    t = 0.0
+    if spec.arrival == "uniform":
+        return [(i + 1) * mean_gap for i in range(count)]
+    if spec.arrival == "poisson":
+        for _ in range(count):
+            t += float(rng.exponential(mean_gap))
+            times.append(t)
+        return times
+    if spec.arrival == "pareto":
+        # Pareto-I gaps: scale x_m chosen so the mean gap α·x_m/(α-1)
+        # equals 1/rate.  Inverse-CDF sampling on u ∈ (0, 1].
+        alpha = spec.pareto_alpha
+        x_m = (alpha - 1.0) * mean_gap / alpha
+        for _ in range(count):
+            u = 1.0 - float(rng.random())
+            t += x_m / (u ** (1.0 / alpha))
+            times.append(t)
+        return times
+    if spec.arrival == "mmpp":
+        # 2-state MMPP: exponential holding times per state; within a
+        # state, Poisson arrivals at that state's rate.  A gap crossing
+        # the state boundary is redrawn in the new state (memorylessness
+        # makes the discard exact, not an approximation).
+        rates = (spec.rate, spec.rate * spec.burst_multiplier)
+        holds = (spec.calm_mean_s, spec.burst_mean_s)
+        state = 0
+        state_end = t + float(rng.exponential(holds[state]))
+        while len(times) < count:
+            gap = float(rng.exponential(1.0 / rates[state]))
+            if t + gap <= state_end:
+                t += gap
+                times.append(t)
+            else:
+                t = state_end
+                state = 1 - state
+                state_end = t + float(rng.exponential(holds[state]))
+        return times
+    # Diurnal: Lewis–Shedler thinning of the peak-rate Poisson process
+    # against rate(t) = rate·(1 + amplitude·sin(2πt/period)).
+    peak = spec.rate * (1.0 + spec.diurnal_amplitude)
+    omega = 2.0 * math.pi / spec.diurnal_period_s
+    while len(times) < count:
+        t += float(rng.exponential(1.0 / peak))
+        current = spec.rate * (1.0 + spec.diurnal_amplitude * math.sin(omega * t))
+        if float(rng.random()) * peak <= current:
+            times.append(t)
+    return times
+
+
+def generate_scenario(spec: ScenarioSpec) -> Scenario:
+    """Generate the full scenario for *spec* — topology plus workload.
+
+    Request targeting (entry agent, application, deadline offset) comes
+    from the ``scenario-workload`` stream, independent of the arrival
+    stream, so specs differing only in arrival process hit the same
+    agents with the same applications at different instants.
+    """
+    topology = generate_topology(spec)
+    arrival_times = generate_arrival_times(spec)
+    rng = RngRegistry(spec.master_seed).stream("scenario-workload")
+    specs = paper_application_specs()
+    names = list(topology.agent_names)
+    app_names = list(specs)
+    items: List[WorkloadItem] = []
+    for t in arrival_times:
+        agent = names[int(rng.integers(len(names)))]
+        app = app_names[int(rng.integers(len(app_names)))]
+        low, high = specs[app].deadline_bounds
+        offset = float(rng.uniform(low, high)) * spec.deadline_scale
+        items.append(
+            WorkloadItem(
+                submit_time=t,
+                agent_name=agent,
+                application=app,
+                deadline=t + offset,
+            )
+        )
+    return Scenario(spec=spec, topology=topology, workload=tuple(items))
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """sha256 over the scenario's canonical JSON — the determinism witness.
+
+    Two scenarios agree on this digest iff their grids and workloads are
+    byte-identical (same platforms, tree, node counts, and every request's
+    time/target/application/deadline).  The determinism tests assert the
+    fingerprint is a pure function of the spec.
+    """
+    body = {
+        "platforms": [[k, v] for k, v in scenario.topology.platforms.items()],
+        "parent_of": [[k, v] for k, v in scenario.topology.parent_of.items()],
+        "nproc": [[k, v] for k, v in scenario.topology.nproc.items()],
+        "workload": [
+            [item.submit_time, item.agent_name, item.application, item.deadline]
+            for item in scenario.workload
+        ],
+    }
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

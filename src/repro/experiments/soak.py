@@ -176,6 +176,7 @@ def _schedule_arrivals(system: GridSystem, items: List[WorkloadItem]) -> Dict[in
             tolerant_submitter(system, item),
             priority=Priority.ARRIVAL,
             label=f"arrival-{item.application}",
+            lane=item.agent_name,
         )
         for index, item in enumerate(items)
     }
@@ -186,21 +187,24 @@ def run_soak(
     topology: Optional[GridTopology] = None,
     *,
     window_seconds: float = 500.0,
+    workload: Optional[List[WorkloadItem]] = None,
     tracer: Optional[Tracer] = None,
     checkpoint_path: Optional[str] = None,
 ) -> SoakResult:
     """Run a continuous-arrival soak to completion, one window at a time.
 
     ``config.request_count`` sets the stream length (soak runs typically
-    use thousands).  With ``checkpoint_path``, one resumable snapshot is
-    rewritten at every window boundary; :func:`resume_soak` continues it
-    with byte-identical windows.
+    use thousands); pass *workload* to drive the soak with an explicit
+    item list instead — generated scenarios use this to supply bursty or
+    heavy-tailed arrival streams.  With ``checkpoint_path``, one resumable
+    snapshot is rewritten at every window boundary; :func:`resume_soak`
+    continues it with byte-identical windows.
     """
     if window_seconds <= 0:
         raise ExperimentError(f"window_seconds must be > 0, got {window_seconds}")
     t_wall = time.perf_counter()
     system = build_grid(config, topology, tracer=tracer)
-    items = _soak_workload(system, config)
+    items = workload if workload is not None else _soak_workload(system, config)
     system.start()
     arrivals = _schedule_arrivals(system, items)
     progress = _SoakProgress(

@@ -52,7 +52,7 @@ def set_message_counter(value: int) -> None:
     _next_message_id = int(value)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Endpoint:
     """A network identity: the (address, port) tuple of Figs. 5–6."""
 
@@ -79,13 +79,17 @@ class MessageKind(enum.Enum):
     ACK = "ack"              # receipt of a REQUEST (resilience layer only)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One transported message.
 
     ``payload`` is kind-specific: a request record, a task summary, or a
     service-information record.  ``hops`` counts discovery forwards so a
     request cannot circulate indefinitely.
+
+    Slotted: a scaled grid keeps tens of thousands of messages in flight,
+    and per-instance dicts dominated their footprint (see the
+    ``engine_event_alloc`` micro-benchmark).
     """
 
     kind: MessageKind

@@ -5,14 +5,26 @@ Events are totally ordered by ``(time, priority, sequence)`` so that
 simultaneous events fire deterministically: lower priority value first, then
 insertion order.  Determinism matters — the paper's experiments are seeded
 and must replay identically.
+
+``Event`` is a hand-rolled ``__slots__`` class rather than a dataclass: the
+engine allocates one per scheduled callback, which makes construction and
+attribute access the hottest allocation path in the simulator (see
+``engine_event_alloc`` in the perf suite for the measured win).  The
+partitioned engine never calls :meth:`Event.__lt__` — its heaps hold
+``(time, priority, sequence, event)`` tuples that compare in C — but the
+method is kept so the single-heap reference engine can order raw events.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
-__all__ = ["Event", "EventHandle", "Priority"]
+__all__ = ["Event", "EventHandle", "Priority", "DEFAULT_LANE"]
+
+#: The lane events land in when the scheduler does not name one.  The
+#: default lane doubles as the *cross-cluster* lane: inter-cluster message
+#: deliveries, portal arrivals, and any unrouted event share it.
+DEFAULT_LANE = ""
 
 
 class Priority:
@@ -31,26 +43,88 @@ class Priority:
     DEFAULT = 50
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback; ordered by ``(time, priority, sequence)``."""
+    """A scheduled callback; ordered by ``(time, priority, sequence)``.
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    #: Set by the engine the moment the event is popped to fire, so a
-    #: cancel() from inside its own callback (e.g. a periodic process
-    #: stopping itself) no longer counts as a pending-event cancellation.
-    fired: bool = field(compare=False, default=False)
-    #: Engine hook invoked on the first effective cancellation only —
-    #: keeps the engine's live pending counter exact without re-scanning
-    #: the heap.
-    on_cancel: Callable[[], None] | None = field(
-        compare=False, default=None, repr=False
+    Attributes
+    ----------
+    time / priority / sequence:
+        The total-order key.  ``sequence`` is engine-assigned and unique,
+        so ties never fall through to later fields.
+    callback:
+        Zero-argument callable fired when the event is due.
+    label:
+        Debug label (also recorded in traces).
+    lane:
+        The event lane this event is queued in (see
+        :class:`~repro.sim.engine.Engine`); purely a performance
+        partitioning — firing order is lane-independent.
+    cancelled:
+        Lazily honoured: the engine skips cancelled events when popped and
+        compacts its heaps when too many accumulate.
+    fired:
+        Set by the engine the moment the event is popped to fire, so a
+        ``cancel()`` from inside its own callback (e.g. a periodic process
+        stopping itself) no longer counts as a pending-event cancellation.
+    on_cancel:
+        Engine hook invoked on the first effective cancellation only —
+        keeps the engine's live pending counter exact without re-scanning
+        the heap.
+    """
+
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "label",
+        "lane",
+        "cancelled",
+        "fired",
+        "on_cancel",
     )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], None],
+        label: str = "",
+        lane: str = DEFAULT_LANE,
+        on_cancel: Optional[Callable[[], None]] = None,
+    ) -> None:
+        # All parameters are positional-capable: the engine constructs one
+        # Event per scheduled callback, and positional calls measurably
+        # outrun keyword calls on this hottest allocation path.
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.lane = lane
+        self.cancelled = False
+        self.fired = False
+        self.on_cancel = on_cancel
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.priority == other.priority
+            and self.sequence == other.sequence
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.priority, self.sequence))
 
     def cancel(self) -> None:
         """Mark the event cancelled; the engine will skip it when popped.
@@ -63,6 +137,38 @@ class Event:
         self.cancelled = True
         if self.on_cancel is not None:
             self.on_cancel()
+
+    # The partitioned engine returns events directly as their own handles
+    # (one object allocation per schedule instead of two), so Event carries
+    # the full handle surface; :class:`EventHandle` remains as the wrapper
+    # the single-heap reference engine hands out.
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting in the heap (not fired/cancelled)."""
+        return not (self.fired or self.cancelled)
+
+    def descriptor(self) -> dict:
+        """The ``(time, priority, sequence, label, lane)`` identity of this event.
+
+        Checkpoints store descriptors instead of handles; restore re-creates
+        the event with its *original* triple via
+        :meth:`~repro.sim.engine.Engine.restore_event`, so heap order — and
+        therefore replay — is preserved exactly.
+        """
+        return {
+            "time": self.time,
+            "priority": self.priority,
+            "sequence": self.sequence,
+            "label": self.label,
+            "lane": self.lane,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(t={self.time:.3f}, prio={self.priority}, "
+            f"seq={self.sequence}, label={self.label!r}, lane={self.lane!r})"
+        )
 
 
 class EventHandle:
@@ -94,6 +200,11 @@ class EventHandle:
         return self._event.sequence
 
     @property
+    def lane(self) -> str:
+        """The event lane this event is queued in."""
+        return self._event.lane
+
+    @property
     def cancelled(self) -> bool:
         """Whether the event has been cancelled."""
         return self._event.cancelled
@@ -109,18 +220,22 @@ class EventHandle:
         return not (self._event.fired or self._event.cancelled)
 
     def descriptor(self) -> dict:
-        """The ``(time, priority, sequence, label)`` identity of this event.
+        """The ``(time, priority, sequence, label, lane)`` identity of this event.
 
         Checkpoints store descriptors instead of handles; restore re-creates
         the event with its *original* triple via
         :meth:`~repro.sim.engine.Engine.restore_event`, so heap order — and
-        therefore replay — is preserved exactly.
+        therefore replay — is preserved exactly.  The lane is carried so a
+        restored run rebuilds the same partitioning; descriptors written
+        before lanes existed restore into the default lane, which fires
+        identically (ordering is lane-independent).
         """
         return {
             "time": self._event.time,
             "priority": self._event.priority,
             "sequence": self._event.sequence,
             "label": self._event.label,
+            "lane": self._event.lane,
         }
 
     def cancel(self) -> None:
