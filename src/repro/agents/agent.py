@@ -22,12 +22,14 @@ An agent:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.agents.advertisement import AdvertisementStrategy, NoAdvertisement
-from repro.net.payloads import RequestEnvelope, TaskResult
+from repro.net.payloads import KinInfo, RequestEnvelope, TaskResult
 from repro.agents.discovery import Decision, DiscoveryConfig, DiscoveryOutcome, discover
+from repro.agents.healing import Healer
 from repro.agents.matchmaking import MatchResult, match_request
+from repro.agents.membership import FailureDetector, MembershipConfig
 from repro.agents.resilience import ResilienceConfig
 from repro.agents.service_info import ServiceInfo
 from repro.errors import AgentError, TransportError
@@ -128,6 +130,8 @@ class Agent:
         discovery_config: DiscoveryConfig = DiscoveryConfig(),
         advertisement: Optional[AdvertisementStrategy] = None,
         resilience: ResilienceConfig = ResilienceConfig(),
+        membership: MembershipConfig = MembershipConfig(),
+        jitter_rng: Optional[Any] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         if not name:
@@ -146,6 +150,9 @@ class Agent:
         self._registry: Dict[Endpoint, ServiceInfo] = {}
         self._registry_time: Dict[Endpoint, float] = {}
         self._reply_to: Dict[int, RequestEnvelope] = {}  # task id -> envelope
+        # Results completed by the local scheduler while this agent is
+        # crashed, awaiting a restart to be mailed (membership mode only).
+        self._held_results: List[Tuple[RequestEnvelope, TaskResult]] = []
         self._stats = AgentStats()
         self._outcomes: List[Tuple[int, DiscoveryOutcome]] = []
         # request id -> unacknowledged forward (resilience layer).
@@ -153,7 +160,21 @@ class Agent:
         # (sender, request id, hops) triples already processed — dedups the
         # retransmissions an at-least-once sender produces when its ACK,
         # not the REQUEST itself, was lost.  Only populated when enabled.
-        self._seen_forwards: Set[Tuple[Endpoint, int, int]] = set()
+        # Keyed in recency order (values are last-seen times) so the
+        # resilience config's TTL/cap eviction drops the oldest keys first.
+        self._seen_forwards: Dict[Tuple[Endpoint, int, int], float] = {}
+        # Dedicated RNG stream for backoff jitter; None when jitter is off
+        # (the stream's very existence would perturb the rng digest).
+        self._jitter_rng = jitter_rng
+        self._membership = membership
+        self._detector = (
+            FailureDetector(self, membership) if membership.enabled else None
+        )
+        self._healer = Healer(self, membership) if membership.enabled else None
+        # Endpoint → agent directory (set by wire_hierarchy): the sim's
+        # stand-in for dialling an arbitrary address, which adoption needs
+        # to reach beyond the current neighbour links.
+        self._directory: Optional[Mapping[Endpoint, "Agent"]] = None
         self._active = True
         transport.register(endpoint, self._handle_message)
         scheduler.on_result(self._handle_local_completion)
@@ -211,6 +232,26 @@ class Agent:
         return self._resilience
 
     @property
+    def membership(self) -> MembershipConfig:
+        """The membership policy this agent runs."""
+        return self._membership
+
+    @property
+    def detector(self) -> Optional[FailureDetector]:
+        """The failure detector, or ``None`` with membership disabled."""
+        return self._detector
+
+    @property
+    def healer(self) -> Optional[Healer]:
+        """The self-healing protocol driver, or ``None`` when disabled."""
+        return self._healer
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The trace sink this agent emits to (``None`` when off)."""
+        return self._tracer
+
+    @property
     def pending_ack_count(self) -> int:
         """Forwarded requests still awaiting acknowledgement."""
         return len(self._pending_acks)
@@ -239,7 +280,15 @@ class Agent:
         for neighbour in self.neighbours():
             if neighbour.endpoint == endpoint:
                 return neighbour.name
+        if self._directory is not None:
+            known = self._directory.get(endpoint)
+            if known is not None:
+                return known.name
         return str(endpoint)
+
+    def peer_name(self, endpoint: Optional[Endpoint]) -> Optional[str]:
+        """Public alias of the trace-record name resolver."""
+        return self._peer_name(endpoint)
 
     # --------------------------------------------------------------- topology
 
@@ -250,6 +299,45 @@ class Agent:
         if child is self:
             raise AgentError(f"agent {self._name!r} cannot be its own child")
         self._children.append(child)
+
+    def bind_directory(self, directory: Mapping[Endpoint, "Agent"]) -> None:
+        """Install the grid-wide endpoint→agent directory (healing support)."""
+        self._directory = directory
+
+    def lookup_agent(self, endpoint: Endpoint) -> Optional["Agent"]:
+        """Resolve *endpoint* to an agent: neighbours first, then directory."""
+        for neighbour in self.neighbours():
+            if neighbour.endpoint == endpoint:
+                return neighbour
+        if self._directory is not None:
+            return self._directory.get(endpoint)
+        return None
+
+    def _attach_parent(self, parent: Optional["Agent"]) -> None:
+        """Re-parent (healing): set the upper link and refresh its lease."""
+        self._parent = parent
+        if parent is not None and self._detector is not None:
+            self._detector.observe(parent.endpoint)
+
+    def _adopt_child(self, child: "Agent") -> None:
+        """Take in an orphan (healing): append and baseline its lease."""
+        if child is self:
+            raise AgentError(f"agent {self._name!r} cannot adopt itself")
+        self._children.append(child)
+        if self._detector is not None:
+            self._detector.observe(child.endpoint)
+
+    def _on_peer_dead(self, peer: "Agent") -> None:
+        """Membership confirmed *peer* dead: sever the link, quarantine its
+        stale performance record, and hand any orphaning to the healer."""
+        self._registry.pop(peer.endpoint, None)
+        self._registry_time.pop(peer.endpoint, None)
+        if peer is self._parent:
+            self._parent = None
+            if self._healer is not None:
+                self._healer.on_parent_dead(peer)
+        else:
+            self._children = [c for c in self._children if c is not peer]
 
     # ----------------------------------------------------------- advertising
 
@@ -266,12 +354,18 @@ class Agent:
         )
 
     def start(self) -> None:
-        """Activate the advertisement strategy."""
+        """Activate the advertisement strategy and the failure detector."""
         self._advertisement.start(self)
+        if self._detector is not None:
+            self._detector.start()
 
     def stop(self) -> None:
-        """Deactivate the advertisement strategy."""
+        """Deactivate advertisement, detection, and any healing retries."""
         self._advertisement.stop()
+        if self._detector is not None:
+            self._detector.stop()
+        if self._healer is not None:
+            self._healer.cancel_retry()
 
     def deactivate(self) -> None:
         """Take this agent off the grid (crash simulation).  Idempotent.
@@ -300,6 +394,11 @@ class Agent:
         # make a retransmitted REQUEST after reactivate() look like a
         # duplicate — ACKed but never processed, silently losing it.
         self._seen_forwards.clear()
+        # Same for liveness leases and in-flight repairs.
+        if self._detector is not None:
+            self._detector.reset()
+        if self._healer is not None:
+            self._healer.reset()
         if self._tracer is not None:
             self._tracer.emit(
                 AgentDown(
@@ -336,6 +435,23 @@ class Agent:
                 )
             )
         self.start()
+        # Results that completed while the process was dead go out now,
+        # after the agent.up record, so traces never show a down sender.
+        if self._held_results:
+            held, self._held_results = self._held_results, []
+            for envelope, result in held:
+                self._send_best_effort(
+                    Message(
+                        MessageKind.RESULT,
+                        self._endpoint,
+                        envelope.reply_to,
+                        payload=result,
+                    )
+                )
+        # Formally rejoin the tree: the crash may have outlived this
+        # agent's lease at its parent, which then severed the link.
+        if self._healer is not None:
+            self._healer.on_reactivate()
 
     def _send_best_effort(self, message: Message) -> bool:
         """Send, tolerating a dead recipient; returns delivery acceptance."""
@@ -377,6 +493,74 @@ class Agent:
                 )
             )
 
+    # -------------------------------------------------------------- membership
+
+    def send_membership(self, kind: MessageKind, recipient: Endpoint, payload) -> bool:
+        """Send one membership-protocol message, tolerating a dead recipient.
+
+        Unlike :meth:`_send_best_effort` this neither counts the failure
+        nor evicts registry entries: silence *is* the membership signal,
+        and the detector owns the stale-record decision.
+        """
+        try:
+            self._transport.send(
+                Message(kind, self._endpoint, recipient, payload=payload)
+            )
+        except TransportError:
+            return False
+        return True
+
+    def send_heartbeats(self) -> int:
+        """Beacon every neighbour (detector tick hook); returns sends begun.
+
+        Child-bound heartbeats carry the next-of-kin gossip self-healing
+        runs on: this agent's parent (the child's grandparent) and its
+        children in canonical order (the child's siblings, eldest first).
+        """
+        sent = 0
+        if self._children:
+            kin = KinInfo(
+                parent=self._name,
+                grandparent=(
+                    None
+                    if self._parent is None
+                    else (self._parent.name, self._parent.endpoint)
+                ),
+                siblings=tuple((c.name, c.endpoint) for c in self._children),
+            )
+            for child in self._children:
+                if self.send_membership(MessageKind.HEARTBEAT, child.endpoint, kin):
+                    sent += 1
+        if self._parent is not None:
+            if self.send_membership(
+                MessageKind.HEARTBEAT, self._parent.endpoint, None
+            ):
+                sent += 1
+        return sent
+
+    def replay_advertisement(self) -> None:
+        """Replay service advertisements up a freshly healed path.
+
+        Called once the ADOPT/ADOPTED handshake closes: the new parent
+        learns this subtree's service record immediately (instead of one
+        pull interval later), and the PULL warms this agent's own registry
+        with the new parent's record.
+        """
+        if self._parent is None:
+            return
+        parent_ep = self._parent.endpoint
+        self._send_best_effort(
+            Message(
+                MessageKind.ADVERTISE,
+                self._endpoint,
+                parent_ep,
+                payload=self.service_info(),
+            )
+        )
+        self._send_best_effort(
+            Message(MessageKind.PULL, self._endpoint, parent_ep, payload=None)
+        )
+
     # ----------------------------------------------------------- request path
 
     def submit(self, envelope: RequestEnvelope) -> None:
@@ -410,10 +594,15 @@ class Agent:
             request, self.service_info(), self._evaluator, self._catalogue, now
         )
         ttl = self._resilience.registry_ttl
+        detector = self._detector
         neighbour_matches: Dict[Endpoint, MatchResult] = {}
         for neighbour in self.neighbours():
             ep = neighbour.endpoint
             if ep in exclude:
+                continue
+            if detector is not None and detector.is_quarantined(ep):
+                # Suspected peers keep their registry entry (they may just
+                # be slow) but never receive dispatches while quarantined.
                 continue
             info = self._registry.get(ep)
             if info is None:
@@ -428,6 +617,14 @@ class Agent:
                 request, info, self._evaluator, self._catalogue, now
             )
         parent_ep = self._parent.endpoint if self._parent is not None else None
+        if (
+            parent_ep is not None
+            and detector is not None
+            and detector.is_quarantined(parent_ep)
+        ):
+            # A suspected parent cannot be escalated to either; discovery
+            # falls back to head behaviour (best-effort local) meanwhile.
+            parent_ep = None
         outcome = discover(
             local_match, neighbour_matches, parent_ep, hops, self._discovery_config
         )
@@ -491,7 +688,7 @@ class Agent:
         if self._resilience.enabled:
             request_id = envelope.request_id
             handle = self.sim.schedule_in(
-                self._resilience.timeout_for(attempt),
+                self._backoff_delay(attempt),
                 lambda: self._on_ack_timeout(request_id),
                 priority=Priority.MONITORING,
                 label=f"ack-timeout-{self._name}-{request_id}",
@@ -504,6 +701,18 @@ class Agent:
                 tried=exclude | {outcome.target},
                 handle=handle,
             )
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """The retry delay for *attempt*: exponential backoff plus jitter.
+
+        With ``backoff_jitter == 0`` (default) no draw happens and the
+        delay equals :meth:`ResilienceConfig.timeout_for` exactly.
+        """
+        delay = self._resilience.timeout_for(attempt)
+        jitter = self._resilience.backoff_jitter
+        if jitter > 0.0 and self._jitter_rng is not None:
+            delay *= 1.0 + jitter * float(self._jitter_rng.random())
+        return delay
 
     def _on_ack_timeout(self, request_id: int) -> None:
         """A forwarded REQUEST went unacknowledged: retry or give up."""
@@ -603,8 +812,7 @@ class Agent:
                 raise AgentError(f"bad REQUEST payload: {type(envelope).__name__}")
             if self._resilience.enabled:
                 key = (message.sender, envelope.request_id, message.hops)
-                duplicate = key in self._seen_forwards
-                self._seen_forwards.add(key)
+                duplicate = self._remember_forward(key)
                 # Acknowledge even duplicates: a retransmission means the
                 # sender never saw the first ACK.
                 self._stats.acks_sent += 1
@@ -639,7 +847,9 @@ class Agent:
                 del self._pending_acks[message.payload]
         elif message.kind is MessageKind.PULL:
             self._stats.pulls_answered += 1
-            self._transport.send(
+            # Best-effort: under churn plus delivery delay the puller may
+            # have died (and unregistered) while its PULL was in flight.
+            self._send_best_effort(
                 Message(
                     MessageKind.ADVERTISE,
                     self._endpoint,
@@ -654,10 +864,56 @@ class Agent:
             self._stats.advertisements_received += 1
             self._registry[message.sender] = info
             self._registry_time[message.sender] = self.sim.now
+        elif message.kind is MessageKind.HEARTBEAT:
+            # Tolerated with membership off: a mixed-config neighbour may
+            # still beacon; there is simply nothing to refresh here.
+            if self._detector is not None:
+                self._detector.observe(message.sender)
+            if self._healer is not None and isinstance(message.payload, KinInfo):
+                self._healer.on_heartbeat(message.sender, message.payload)
+        elif message.kind is MessageKind.ADOPT:
+            if self._detector is not None:
+                self._detector.observe(message.sender)
+            if self._healer is not None:
+                self._healer.handle_adopt(message.sender)
+        elif message.kind is MessageKind.ADOPTED:
+            if self._detector is not None:
+                self._detector.observe(message.sender)
+            if self._healer is not None:
+                self._healer.handle_adopted(message.sender)
         else:
             raise AgentError(
                 f"agent {self._name!r} cannot handle {message.kind.value!r}"
             )
+
+    def _remember_forward(self, key: Tuple[Endpoint, int, int]) -> bool:
+        """Record a forward-dedup key; returns whether it was already known.
+
+        The map is kept in recency order: expired keys (``dedup_ttl``) are
+        evicted from the front before the duplicate check — a retransmission
+        arriving after the window is treated as new work — and the size cap
+        evicts least-recently-seen keys after insertion.  With the TTL off
+        and the cap unreached this is byte-identical to the unbounded set
+        it replaces.
+        """
+        now = self.sim.now
+        ttl = self._resilience.dedup_ttl
+        if ttl is not None:
+            while self._seen_forwards:
+                oldest = next(iter(self._seen_forwards))
+                if now - self._seen_forwards[oldest] > ttl:
+                    del self._seen_forwards[oldest]
+                else:
+                    break
+        duplicate = key in self._seen_forwards
+        if duplicate:
+            del self._seen_forwards[key]  # re-insert at the recency tail
+        self._seen_forwards[key] = now
+        cap = self._resilience.dedup_cap
+        if cap is not None:
+            while len(self._seen_forwards) > cap:
+                del self._seen_forwards[next(iter(self._seen_forwards))]
+        return duplicate
 
     # ----------------------------------------------------------------- results
 
@@ -666,20 +922,25 @@ class Agent:
         if envelope is None:
             return  # submitted directly to the scheduler, not via this agent
         assert task.completion_time is not None and task.start_time is not None
-        self._send_result(
-            envelope,
-            TaskResult(
-                request_id=envelope.request_id,
-                application=task.application.name,
-                success=True,
-                resource_name=task.resource_name or self._scheduler.resource.name,
-                submit_time=task.request.submit_time,
-                start_time=task.start_time,
-                completion_time=task.completion_time,
-                deadline=task.deadline,
-                trace=envelope.trace,
-            ),
+        result = TaskResult(
+            request_id=envelope.request_id,
+            application=task.application.name,
+            success=True,
+            resource_name=task.resource_name or self._scheduler.resource.name,
+            submit_time=task.request.submit_time,
+            start_time=task.start_time,
+            completion_time=task.completion_time,
+            deadline=task.deadline,
+            trace=envelope.trace,
         )
+        if not self._active and self._membership.enabled:
+            # The cluster kept computing, but the fronting process is dead:
+            # nothing can transmit until a restart.  Held results flush in
+            # reactivate(); a permanently dead agent never delivers them,
+            # which is exactly the availability loss Experiment 5 measures.
+            self._held_results.append((envelope, result))
+            return
+        self._send_result(envelope, result)
 
     def _send_result(self, envelope: RequestEnvelope, result: TaskResult) -> None:
         self._transport.send(
@@ -704,10 +965,15 @@ class Agent:
             encode_endpoint,
             encode_envelope,
             encode_service_info,
+            encode_task_result,
         )
 
         return {
             "active": self._active,
+            "held": [
+                [encode_envelope(env), encode_task_result(res)]
+                for env, res in self._held_results
+            ],
             "registry": [
                 [encode_endpoint(ep), encode_service_info(info)]
                 for ep, info in sorted(self._registry.items())
@@ -746,11 +1012,31 @@ class Agent:
                 }
                 for rid, p in sorted(self._pending_acks.items())
             },
+            # Insertion (= recency) order, not sorted: eviction order must
+            # survive the round-trip for resume byte-identity.
             "seen_forwards": [
-                [encode_endpoint(ep), rid, hops]
-                for ep, rid, hops in sorted(self._seen_forwards)
+                [encode_endpoint(ep), rid, hops, t]
+                for (ep, rid, hops), t in self._seen_forwards.items()
             ],
             "advertisement": self._advertisement.snapshot_state(),
+            "membership": (
+                None
+                if self._detector is None or self._healer is None
+                else {
+                    # Current wiring: healing re-parents at runtime, so the
+                    # built topology is not authoritative after a repair.
+                    "parent": (
+                        None
+                        if self._parent is None
+                        else encode_endpoint(self._parent.endpoint)
+                    ),
+                    "children": [
+                        encode_endpoint(c.endpoint) for c in self._children
+                    ],
+                    "detector": self._detector.snapshot_state(),
+                    "healer": self._healer.snapshot_state(),
+                }
+            ),
         }
 
     def restore_state(self, state: dict, *, applications) -> None:
@@ -765,8 +1051,14 @@ class Agent:
             decode_endpoint,
             decode_envelope,
             decode_service_info,
+            decode_task_result,
         )
 
+        # Pre-membership snapshots carry no "held" key: nothing was held.
+        self._held_results = [
+            (decode_envelope(raw_env, applications), decode_task_result(raw_res))
+            for raw_env, raw_res in state.get("held", [])
+        ]
         self._registry = {
             decode_endpoint(ep): decode_service_info(info)
             for ep, info in state["registry"]
@@ -796,9 +1088,14 @@ class Agent:
             )
             for raw in state["outcomes"]
         ]
+        # Pre-cap snapshots stored sorted (endpoint, rid, hops) triples
+        # with no timestamps; restore them at time zero, which with the
+        # default TTL-off policy behaves identically.
         self._seen_forwards = {
-            (decode_endpoint(ep), int(rid), int(hops))
-            for ep, rid, hops in state["seen_forwards"]
+            (decode_endpoint(entry[0]), int(entry[1]), int(entry[2])): (
+                float(entry[3]) if len(entry) > 3 else 0.0
+            )
+            for entry in state["seen_forwards"]
         }
         for pending in self._pending_acks.values():
             pending.handle.cancel()
@@ -817,6 +1114,25 @@ class Agent:
                 handle=handle,
             )
         self._advertisement.restore_state(state["advertisement"], self)
+        member_state = state.get("membership")
+        if (
+            member_state is not None
+            and self._detector is not None
+            and self._healer is not None
+        ):
+            # Re-wire the *current* links first (the snapshot may sit
+            # mid-heal, after an adoption the built topology predates);
+            # detector and healer state is keyed by these links.
+            directory = self._directory or {}
+            raw_parent = member_state["parent"]
+            self._parent = (
+                None if raw_parent is None else directory[decode_endpoint(raw_parent)]
+            )
+            self._children = [
+                directory[decode_endpoint(ep)] for ep in member_state["children"]
+            ]
+            self._detector.restore_state(member_state["detector"])
+            self._healer.restore_state(member_state["healer"])
         was_active = bool(state["active"])
         if not was_active and self._active:
             # Crash state, silently: no trace records, no timer churn.

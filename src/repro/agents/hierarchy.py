@@ -165,4 +165,10 @@ def wire_hierarchy(
         if parent is not None:
             agents[child]._set_parent(agents[parent])  # noqa: SLF001 - wiring
             agents[parent]._add_child(agents[child])  # noqa: SLF001 - wiring
+    # Grid-wide endpoint→agent directory: the sim's stand-in for dialling
+    # an arbitrary address.  Self-healing adoption needs it to reach beyond
+    # current neighbour links; routing never consults it.
+    directory = {agent.endpoint: agent for agent in agents.values()}
+    for agent in agents.values():
+        agent.bind_directory(directory)
     return Hierarchy(agents, agents[heads[0]])

@@ -87,6 +87,7 @@ class UserPortal:
         endpoint: Endpoint = Endpoint("portal.grid", 8000),
         email: str = "user@portal.grid",
         resilience: ResilienceConfig = ResilienceConfig(),
+        jitter_rng=None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self._tracer = tracer
@@ -95,6 +96,7 @@ class UserPortal:
         self._endpoint = endpoint
         self._email = email
         self._resilience = resilience
+        self._jitter_rng = jitter_rng
         self._next_request_id = 0
         self._submitted: Dict[int, RequestEnvelope] = {}
         self._results: Dict[int, TaskResult] = {}
@@ -228,16 +230,28 @@ class UserPortal:
             self._stats.submit_failures += 1
             self._retry_or_fail(
                 request_id, target, attempt,
-                delay=self._resilience.timeout_for(attempt),
+                delay=self._backoff_delay(attempt),
             )
             return
         handle = self._sim.schedule_in(
-            self._resilience.timeout_for(attempt),
+            self._backoff_delay(attempt),
             lambda: self._on_ack_timeout(request_id),
             priority=Priority.MONITORING,
             label=f"portal-ack-{request_id}",
         )
         self._pending[request_id] = _PendingSubmit(target, attempt, handle)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """The backoff for *attempt*, jittered when the knob is on.
+
+        Jitter zero (the default) draws nothing and returns the exact
+        deterministic timeout — byte-identical to the unjittered portal.
+        """
+        delay = self._resilience.timeout_for(attempt)
+        jitter = self._resilience.backoff_jitter
+        if jitter > 0 and self._jitter_rng is not None:
+            delay *= 1.0 + jitter * float(self._jitter_rng.random())
+        return delay
 
     def _on_ack_timeout(self, request_id: int) -> None:
         pending = self._pending.pop(request_id, None)

@@ -55,6 +55,23 @@ class ResilienceConfig:
         is ignored and dropped.  ``None`` (default) never expires —
         the seed behaviour.  Applies even when ``enabled`` is false (it is
         a discovery-freshness knob, not an ACK knob).
+    backoff_jitter:
+        Fractional jitter on every retry delay: attempt *k* waits
+        ``timeout_for(k) * (1 + backoff_jitter * u)`` with ``u`` drawn
+        uniformly from ``[0, 1)`` on the dedicated ``backoff-jitter`` RNG
+        stream.  De-synchronises the retry storm after a partition heals
+        so a recovering agent is not thundering-herded.  ``0`` (default)
+        draws nothing and is byte-identical to the unjittered backoff.
+    dedup_cap:
+        Maximum retransmission-dedup keys an agent remembers
+        (``Agent._seen_forwards``); the least-recently-seen keys are
+        evicted first.  ``None`` never evicts (the pre-cap behaviour); the
+        default bounds memory over soak horizons while staying far above
+        any plausible in-flight retransmission window.
+    dedup_ttl:
+        Age in virtual seconds beyond which a dedup key is evicted and a
+        late retransmission is treated as new work.  ``None`` (default)
+        keeps keys until the cap evicts them.
     """
 
     enabled: bool = False
@@ -62,6 +79,9 @@ class ResilienceConfig:
     max_retries: int = 3
     backoff_base: float = 2.0
     registry_ttl: Optional[float] = None
+    backoff_jitter: float = 0.0
+    dedup_cap: Optional[int] = 65536
+    dedup_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.ack_timeout <= 0:
@@ -75,6 +95,18 @@ class ResilienceConfig:
         if self.registry_ttl is not None and self.registry_ttl <= 0:
             raise ValidationError(
                 f"registry_ttl must be > 0 or None, got {self.registry_ttl}"
+            )
+        if self.backoff_jitter < 0:
+            raise ValidationError(
+                f"backoff_jitter must be >= 0, got {self.backoff_jitter}"
+            )
+        if self.dedup_cap is not None and self.dedup_cap < 1:
+            raise ValidationError(
+                f"dedup_cap must be >= 1 or None, got {self.dedup_cap}"
+            )
+        if self.dedup_ttl is not None and self.dedup_ttl <= 0:
+            raise ValidationError(
+                f"dedup_ttl must be > 0 or None, got {self.dedup_ttl}"
             )
 
     def timeout_for(self, attempt: int) -> float:

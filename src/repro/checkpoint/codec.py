@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.errors import CheckpointError
 from repro.net.message import Endpoint, Message, MessageKind
-from repro.net.payloads import RequestEnvelope, ServiceInfo, TaskResult
+from repro.net.payloads import KinInfo, RequestEnvelope, ServiceInfo, TaskResult
 from repro.tasks.task import Environment, Task, TaskRequest, TaskState
 
 __all__ = [
@@ -33,6 +33,8 @@ __all__ = [
     "decode_task_result",
     "encode_service_info",
     "decode_service_info",
+    "encode_kin_info",
+    "decode_kin_info",
     "encode_message",
     "decode_message",
     "encode_task",
@@ -185,6 +187,38 @@ def decode_service_info(data: Dict[str, Any]) -> ServiceInfo:
 # -------------------------------------------------------------------- messages
 
 
+def encode_kin_info(kin: KinInfo) -> Dict[str, Any]:
+    """``KinInfo`` → dict of (name, endpoint) pairs (membership layer)."""
+    return {
+        "parent": kin.parent,
+        "grandparent": (
+            None
+            if kin.grandparent is None
+            else [kin.grandparent[0], encode_endpoint(kin.grandparent[1])]
+        ),
+        "siblings": [
+            [name, encode_endpoint(endpoint)] for name, endpoint in kin.siblings
+        ],
+    }
+
+
+def decode_kin_info(data: Dict[str, Any]) -> KinInfo:
+    """Inverse of :func:`encode_kin_info`."""
+    grandparent = data["grandparent"]
+    return KinInfo(
+        parent=str(data["parent"]),
+        grandparent=(
+            None
+            if grandparent is None
+            else (str(grandparent[0]), decode_endpoint(grandparent[1]))
+        ),
+        siblings=tuple(
+            (str(name), decode_endpoint(endpoint))
+            for name, endpoint in data["siblings"]
+        ),
+    )
+
+
 def _encode_payload(payload: Any) -> Dict[str, Any]:
     if payload is None:
         return {"type": "none", "data": None}
@@ -192,6 +226,10 @@ def _encode_payload(payload: Any) -> Dict[str, Any]:
         raise CheckpointError(f"unencodable message payload: {payload!r}")
     if isinstance(payload, int):
         return {"type": "int", "data": payload}
+    if isinstance(payload, str):
+        return {"type": "str", "data": payload}
+    if isinstance(payload, KinInfo):
+        return {"type": "kin", "data": encode_kin_info(payload)}
     if isinstance(payload, RequestEnvelope):
         return {"type": "envelope", "data": encode_envelope(payload)}
     if isinstance(payload, TaskResult):
@@ -209,6 +247,10 @@ def _decode_payload(data: Dict[str, Any], applications: Applications) -> Any:
         return None
     if kind == "int":
         return int(data["data"])
+    if kind == "str":
+        return str(data["data"])
+    if kind == "kin":
+        return decode_kin_info(data["data"])
     if kind == "envelope":
         return decode_envelope(data["data"], applications)
     if kind == "result":

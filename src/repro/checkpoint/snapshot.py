@@ -141,6 +141,7 @@ def decode_config(data: Dict[str, Any]):
     :class:`CheckpointError` rather than being silently dropped.
     """
     from repro.agents.discovery import DiscoveryConfig
+    from repro.agents.membership import MembershipConfig
     from repro.agents.resilience import ResilienceConfig
     from repro.experiments.config import ExperimentConfig
     from repro.net.faults import ChurnSpec, FaultPlanSpec
@@ -184,6 +185,9 @@ def decode_config(data: Dict[str, Any]):
             # "engine" key; they restore onto the partitioned engine, which
             # replays byte-identically (the engines are equivalence-tested).
             engine=str(data.get("engine", "partitioned")),
+            # Pre-membership snapshots carry no "membership" key; they
+            # restore with the detector disabled (the seed behaviour).
+            membership=MembershipConfig(**data.get("membership") or {}),
         )
     except (KeyError, TypeError) as exc:
         raise CheckpointError(f"snapshot config does not match this build: {exc}")

@@ -102,6 +102,27 @@ def build_parser() -> argparse.ArgumentParser:
                       "hold (full completion at zero faults; retries under "
                       "loss; resilient >= ablation everywhere)")
 
+    exp5 = sub.add_parser(
+        "experiment5",
+        help="availability study: coordinator churn x grey failures, "
+        "self-healing hierarchy vs static ablation",
+    )
+    exp5.add_argument("--requests", type=int, default=600)
+    exp5.add_argument("--seed", type=int, default=2003)
+    exp5.add_argument("--churn", type=float, nargs="+", default=[0.0, 0.5],
+                      metavar="R",
+                      help="fractions of coordinators crashed permanently")
+    exp5.add_argument("--stragglers", type=int, nargs="+", default=[0, 2],
+                      metavar="N",
+                      help="numbers of grey (slow, not dead) leaf agents")
+    exp5.add_argument("--json", metavar="PATH",
+                      help="also write the availability grid as JSON")
+    exp5.add_argument("--check", action="store_true",
+                      help="exit non-zero unless the healing invariants hold "
+                      "(healing strictly beats static on the deadline SLO in "
+                      "every churn cell; zero confirmed deaths without a "
+                      "crash; every orphan repaired)")
+
     perf = sub.add_parser(
         "perf", help="run the performance benchmark suite, write BENCH_PERF.json"
     )
@@ -218,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--engine", default="partitioned",
                           choices=("partitioned", "single-heap"),
                           help="event engine to run the scenario on")
+    scenario.add_argument("--chaos", default="none",
+                          choices=("none", "loss", "coordinator-churn",
+                                   "stragglers", "grey-combo"),
+                          help="chaos tier folded into the scenario: faults "
+                          "+ churn + the robustness stack (ACK/retry and "
+                          "self-healing membership)")
     scenario.add_argument("--run", action="store_true",
                           help="run the generated scenario to completion "
                           "(default: only print its shape and fingerprint)")
@@ -410,6 +437,73 @@ def _cmd_experiment4(args) -> int:
         print(f"  FAIL  {failure}")
     if not failures:
         print("  PASS  all robustness invariants hold")
+    return 1 if failures else 0
+
+
+def _cmd_experiment5(args) -> int:
+    from dataclasses import asdict
+    import json as json_module
+
+    from repro.experiments.experiment5 import run_experiment5
+    from repro.metrics.reporting import render_experiment5
+
+    print(f"Running experiment 5 ({args.requests} requests, seed {args.seed}, "
+          f"churn {args.churn}, stragglers {args.stragglers})...",
+          file=sys.stderr)
+    result = run_experiment5(
+        request_count=args.requests,
+        master_seed=args.seed,
+        churn_rates=tuple(args.churn),
+        straggler_counts=tuple(args.stragglers),
+    )
+    print(render_experiment5(result))
+    if args.json:
+        payload = {
+            "request_count": result.request_count,
+            "master_seed": result.master_seed,
+            "points": [asdict(p) for p in result.points],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if not args.check:
+        return 0
+    failures = []
+    for p in result.points:
+        if p.crashes == 0 and p.membership.confirms > 0:
+            failures.append(
+                f"{p.membership.confirms} confirmed deaths with zero crashes "
+                f"(churn={p.churn_rate}, grey={p.straggler_count}, "
+                f"healing={p.healing}) — false positives"
+            )
+        if p.healing and p.membership.orphaned > (
+            p.membership.adoptions_completed + p.membership.promotions
+        ):
+            failures.append(
+                f"unrepaired orphans at churn={p.churn_rate}, "
+                f"grey={p.straggler_count}: {p.membership.orphaned} orphaned, "
+                f"{p.membership.adoptions_completed} adopted, "
+                f"{p.membership.promotions} promoted"
+            )
+    churn_cells = sorted(
+        {
+            (p.churn_rate, p.straggler_count)
+            for p in result.points
+            if p.churn_rate > 0
+        }
+    )
+    for churn_rate, straggler_count in churn_cells:
+        advantage = result.healing_advantage(churn_rate, straggler_count)
+        if advantage <= 0:
+            failures.append(
+                f"healing does not beat the static hierarchy at "
+                f"churn={churn_rate}, grey={straggler_count} "
+                f"(deadline-SLO delta {advantage:+.1%})"
+            )
+    for failure in failures:
+        print(f"  FAIL  {failure}")
+    if not failures:
+        print("  PASS  all healing invariants hold")
     return 1 if failures else 0
 
 
@@ -629,6 +723,7 @@ def _cmd_scenario(args) -> int:
         arrival=args.arrival,
         deadline_scale=args.deadline_scale,
         master_seed=args.seed,
+        chaos=args.chaos,
     )
     scenario = generate_scenario(spec)
     summary = scenario.summary()
@@ -652,16 +747,39 @@ def _cmd_scenario(args) -> int:
         from repro.obs import MemorySink, Tracer
 
         tracer = Tracer(MemorySink())
-    from repro.experiments.runner import run_experiment
-
     print(f"Running {config.name} ({len(scenario.workload)} requests, "
           f"{args.agents} agents, {args.engine} engine)...", file=sys.stderr)
-    result = run_experiment(
-        config,
-        scenario.topology,
-        workload=list(scenario.workload),
-        tracer=tracer,
-    )
+    if spec.chaos != "none":
+        # Chaos runs lose messages and crash agents: use the degraded
+        # (horizon-tolerant) runner rather than the strict loop.
+        from repro.experiments.experiment4 import run_degraded
+
+        run = run_degraded(
+            config,
+            scenario.topology,
+            workload=list(scenario.workload),
+            tracer=tracer,
+        )
+        result = run.result
+        print(f"submitted: {run.submitted}, succeeded: {run.succeeded}, "
+              f"deadline met: {run.deadline_met}, failed: {run.failed}, "
+              f"unresolved: {run.unresolved}")
+        print(f"crashes: {run.crashes}, fault-dropped: {run.fault_dropped}")
+        if run.membership is not None:
+            m = run.membership
+            print(f"membership: suspects={m.suspects} confirms={m.confirms} "
+                  f"orphaned={m.orphaned} adopted={m.adoptions_completed} "
+                  f"promotions={m.promotions} "
+                  f"mean repair={m.mean_repair_seconds:.2f}s")
+    else:
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment(
+            config,
+            scenario.topology,
+            workload=list(scenario.workload),
+            tracer=tracer,
+        )
     print(f"records: {len(result.records)}, rejected: {result.rejected_count}, "
           f"messages: {result.messages_sent}")
     print(f"rng digest: {result.rng_digest}")
@@ -733,6 +851,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _cmd_figures(args.requests, args.seed, args.charts, args.jobs)
     elif args.command == "experiment4":
         return _cmd_experiment4(args)
+    elif args.command == "experiment5":
+        return _cmd_experiment5(args)
     elif args.command == "perf":
         from repro.perf import run_perf_cli
 

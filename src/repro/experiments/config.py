@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.agents.discovery import DiscoveryConfig
+from repro.agents.membership import MembershipConfig
 from repro.agents.resilience import ResilienceConfig
 from repro.errors import ExperimentError
 from repro.net.faults import ChurnSpec, FaultPlanSpec
@@ -62,6 +63,11 @@ class ExperimentConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     faults: Optional[FaultPlanSpec] = None
     churn: Optional[ChurnSpec] = None
+    # Self-healing hierarchy (Experiment 5): heartbeat/lease failure
+    # detection plus deterministic re-parenting.  Disabled by default —
+    # a default config builds no detector, arms no timers, and is
+    # byte-identical to the seed (property-tested).
+    membership: MembershipConfig = field(default_factory=MembershipConfig)
     # Event-engine selection: "partitioned" (per-cluster lanes) or
     # "single-heap" (the preserved seed engine, kept as a correctness
     # oracle and perf baseline).  Byte-identical outputs either way —

@@ -54,6 +54,7 @@ from repro.utils.rng import RngRegistry
 __all__ = [
     "DEFAULT_LOSS_RATES",
     "DEFAULT_CHURN_RATES",
+    "MembershipSummary",
     "DegradedRun",
     "Experiment4Point",
     "Experiment4Result",
@@ -130,6 +131,58 @@ def degradation_config(
     )
 
 
+@dataclass(frozen=True)
+class MembershipSummary:
+    """Grid-wide failure-detection and self-healing totals for one run."""
+
+    suspects: int = 0
+    recoveries: int = 0
+    confirms: int = 0
+    heartbeats_sent: int = 0
+    orphaned: int = 0
+    adoptions_completed: int = 0
+    promotions: int = 0
+    rejoins: int = 0
+    give_ups: int = 0
+    repair_count: int = 0
+    mean_repair_seconds: float = 0.0
+
+    @classmethod
+    def from_system(cls, system: GridSystem) -> "MembershipSummary":
+        """Aggregate every agent's detector and healer stats."""
+        durations: List[float] = []
+        totals = dict.fromkeys(
+            (
+                "suspects", "recoveries", "confirms", "heartbeats_sent",
+                "orphaned", "adoptions_completed", "promotions", "rejoins",
+                "give_ups",
+            ),
+            0,
+        )
+        for agent in system.agents.values():
+            if agent.detector is not None:
+                stats = agent.detector.stats
+                totals["suspects"] += stats.suspects
+                totals["recoveries"] += stats.recoveries
+                totals["confirms"] += stats.confirms
+                totals["heartbeats_sent"] += stats.heartbeats_sent
+            if agent.healer is not None:
+                stats = agent.healer.stats
+                totals["orphaned"] += stats.orphaned
+                totals["adoptions_completed"] += stats.adoptions_completed
+                totals["promotions"] += stats.promotions
+                totals["rejoins"] += stats.rejoins
+                totals["give_ups"] += stats.give_ups
+                durations.extend(agent.healer.repair_durations)
+        return cls(
+            repair_count=len(durations),
+            mean_repair_seconds=(
+                sum(durations) / len(durations) if durations else 0.0
+            ),
+            **totals,
+        )
+
+
 @dataclass
 class DegradedRun:
     """Everything one degraded run produced."""
@@ -144,6 +197,51 @@ class DegradedRun:
     crashes: int
     restarts: int
     fault_dropped: int
+    #: ``None`` when the membership layer was disabled for the run.
+    membership: Optional[MembershipSummary] = None
+
+
+def _arm_churn(
+    system: GridSystem, config: ExperimentConfig
+) -> Tuple[int, int, List[Tuple[str, str, object]]]:
+    """Generate and schedule the run's churn events (if any).
+
+    Returns ``(crashes, restarts, churn_events)``.  A spec targeting
+    coordinators (or leaves) is resolved against the built hierarchy —
+    agents that currently have children.
+    """
+    if config.churn is None or config.churn.rate == 0:
+        return 0, 0, []
+    coordinators = (
+        None
+        if config.churn.target == "any"
+        else [name for name, agent in system.agents.items() if agent.children]
+    )
+    schedule = ChurnSchedule.generate(
+        system.topology.agent_names,
+        config.churn,
+        config.request_phase_seconds,
+        RngRegistry(config.master_seed).stream("churn"),
+        head=system.hierarchy.head.name,
+        coordinators=coordinators,
+    )
+    churn_events: List[Tuple[str, str, object]] = []
+    for event in schedule:
+        agent = system.agents[event.agent]
+        action = agent.deactivate if event.action == "crash" else agent.reactivate
+        churn_events.append(
+            (
+                event.agent,
+                event.action,
+                system.sim.schedule(
+                    event.time,
+                    action,
+                    priority=Priority.MONITORING,
+                    label=f"churn-{event.action}-{event.agent}",
+                ),
+            )
+        )
+    return schedule.crash_count, schedule.restart_count, churn_events
 
 
 def run_degraded(
@@ -193,32 +291,7 @@ def run_degraded(
         )
         for index, item in enumerate(items)
     }
-    crashes = restarts = 0
-    churn_events: List[Tuple[str, str, object]] = []
-    if config.churn is not None and config.churn.rate > 0:
-        schedule = ChurnSchedule.generate(
-            system.topology.agent_names,
-            config.churn,
-            config.request_phase_seconds,
-            RngRegistry(config.master_seed).stream("churn"),
-            head=system.hierarchy.head.name,
-        )
-        crashes, restarts = schedule.crash_count, schedule.restart_count
-        for event in schedule:
-            agent = system.agents[event.agent]
-            action = agent.deactivate if event.action == "crash" else agent.reactivate
-            churn_events.append(
-                (
-                    event.agent,
-                    event.action,
-                    system.sim.schedule(
-                        event.time,
-                        action,
-                        priority=Priority.MONITORING,
-                        label=f"churn-{event.action}-{event.agent}",
-                    ),
-                )
-            )
+    crashes, restarts, churn_events = _arm_churn(system, config)
     return _drive_degraded(
         system,
         items,
@@ -272,32 +345,7 @@ def checkpoint_degraded(
         )
         for index, item in enumerate(items)
     }
-    crashes = restarts = 0
-    churn_events: List[Tuple[str, str, object]] = []
-    if config.churn is not None and config.churn.rate > 0:
-        schedule = ChurnSchedule.generate(
-            system.topology.agent_names,
-            config.churn,
-            config.request_phase_seconds,
-            RngRegistry(config.master_seed).stream("churn"),
-            head=system.hierarchy.head.name,
-        )
-        crashes, restarts = schedule.crash_count, schedule.restart_count
-        for event in schedule:
-            agent = system.agents[event.agent]
-            action = agent.deactivate if event.action == "crash" else agent.reactivate
-            churn_events.append(
-                (
-                    event.agent,
-                    event.action,
-                    system.sim.schedule(
-                        event.time,
-                        action,
-                        priority=Priority.MONITORING,
-                        label=f"churn-{event.action}-{event.agent}",
-                    ),
-                )
-            )
+    crashes, restarts, churn_events = _arm_churn(system, config)
     for steps in range(1, at_step + 1):
         if not system.sim.step():
             raise ExperimentError(
@@ -471,6 +519,11 @@ def _drive_degraded(
         crashes=crashes,
         restarts=restarts,
         fault_dropped=plan.dropped_count if plan is not None else 0,
+        membership=(
+            MembershipSummary.from_system(system)
+            if system.config.membership.enabled
+            else None
+        ),
     )
 
 

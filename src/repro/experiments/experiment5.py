@@ -1,0 +1,285 @@
+"""Experiment 5 — availability with a self-healing hierarchy.
+
+Experiment 4 measured graceful degradation of the *protocol* (ACK/retry
+vs fire-and-forget) under message loss and transient churn.  Experiment 5
+measures the *hierarchy*: what a permanently crashed coordinator costs,
+and how much of that cost the membership layer's failure detection and
+deterministic re-parenting (:mod:`repro.agents.membership`,
+:mod:`repro.agents.healing`) buys back.
+
+The study is a grid of ``coordinator-churn rate × straggler count``
+operating points, each run twice:
+
+* **healing** — membership enabled with the full ADOPT/ADOPTED repair
+  protocol: orphaned subtrees re-attach (eldest sibling, else
+  grandparent) and replay their service advertisements, so eq.-(10)
+  discovery keeps balancing load across the repaired tree;
+* **static** — the ablation: the same failure detector (so performance-
+  info quarantine is identical) but ``heal=False``; an orphaned subtree
+  self-severs and absorbs every request locally for the rest of the run.
+
+Coordinator crashes are permanent (the churn downtime outlives any run)
+and target only agents with children — losing a leaf never orphans
+anyone.  Stragglers are grey failures on leaf agents: their sends arrive
+seconds late and their tasks run slower than predicted
+(:class:`~repro.net.faults.StragglerFault`).  The detector thresholds are
+tuned so a straggler trips *suspicion* but never *confirmation*: the
+straggler-only column doubles as the false-positive probe, asserting
+zero confirmed deaths when nobody actually died.
+
+Reported per point: the request success rates (completion, and the
+stricter deadline-met SLO the healing/static comparison turns on), the
+§3.3 balancing metrics, detection counters (suspects / recoveries /
+confirms), and the repair latency (mean seconds from confirmed death to
+re-parented).  All points replay one identical seeded workload, so every
+difference is attributable to the injected failures and the healing knob.
+
+Scale: pass a generated scenario topology/workload (PR 7's
+:mod:`repro.experiments.scenarios` with ``chaos="coordinator-churn"``)
+to run the same study on 500–1000-agent grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.agents.membership import MembershipConfig
+from repro.agents.resilience import ResilienceConfig
+from repro.errors import ExperimentError
+from repro.experiments.casestudy import GridTopology, case_study_topology
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.experiment4 import (
+    MembershipSummary,
+    experiment4_base_config,
+    run_degraded,
+)
+from repro.experiments.workload import WorkloadItem, generate_workload
+from repro.net.faults import ChurnSpec, FaultPlanSpec, StragglerFault
+from repro.pace.workloads import paper_application_specs
+
+__all__ = [
+    "DEFAULT_CHURN_RATES",
+    "DEFAULT_STRAGGLER_COUNTS",
+    "STRAGGLER_RESPONSE_DELAY",
+    "STRAGGLER_SERVICE_FACTOR",
+    "PERMANENT_DOWNTIME",
+    "Experiment5Point",
+    "Experiment5Result",
+    "experiment5_config",
+    "leaf_names",
+    "run_experiment5",
+]
+
+#: Default churn axis: no churn, and half the coordinators crashing.
+DEFAULT_CHURN_RATES: Tuple[float, ...] = (0.0, 0.5)
+#: Default straggler axis: clean, and two grey leaves.
+DEFAULT_STRAGGLER_COUNTS: Tuple[int, ...] = (0, 2)
+
+#: Grey-failure severity (see the detector-tuning note in
+#: :class:`~repro.agents.membership.MembershipConfig`): 3 s mean response
+#: delay yields worst-case heartbeat gaps of ~6.5 s — over the 6 s
+#: suspicion threshold sometimes, far under the 15 s confirmation one
+#: always — and a 2× service factor quietly breaks PACE predictions.
+STRAGGLER_RESPONSE_DELAY = 3.0
+STRAGGLER_SERVICE_FACTOR = 2.0
+
+#: Crash "downtime" that outlives any run: coordinator deaths are
+#: permanent, which is the scenario healing exists for.
+PERMANENT_DOWNTIME = 1e9
+
+
+def leaf_names(topology: GridTopology) -> List[str]:
+    """Agents with no children, in the topology's agent order."""
+    parents = {p for p in topology.parent_of.values() if p is not None}
+    return [n for n in topology.agent_names if n not in parents]
+
+
+def experiment5_config(
+    base: ExperimentConfig,
+    topology: GridTopology,
+    *,
+    churn_rate: float = 0.0,
+    straggler_count: int = 0,
+    healing: bool = True,
+) -> ExperimentConfig:
+    """One operating point's configuration.
+
+    The straggler nodes are the *last* ``straggler_count`` leaves of the
+    topology — deterministic, and never routing-interior agents.  Both
+    arms (healing and static) run identical detection; only the repair
+    protocol differs.
+    """
+    leaves = leaf_names(topology)
+    if straggler_count > len(leaves):
+        raise ExperimentError(
+            f"straggler_count {straggler_count} exceeds the {len(leaves)} leaves"
+        )
+    stragglers = tuple(
+        StragglerFault(
+            node=name,
+            response_delay=STRAGGLER_RESPONSE_DELAY,
+            service_factor=STRAGGLER_SERVICE_FACTOR,
+        )
+        for name in leaves[len(leaves) - straggler_count:]
+    )
+    faults = FaultPlanSpec(stragglers=stragglers) if stragglers else None
+    churn = (
+        ChurnSpec(
+            rate=churn_rate,
+            downtime=PERMANENT_DOWNTIME,
+            target="coordinators",
+        )
+        if churn_rate > 0
+        else None
+    )
+    mode = "healing" if healing else "static"
+    return replace(
+        base,
+        name=f"{base.name}-churn{churn_rate:g}-grey{straggler_count}-{mode}",
+        faults=faults,
+        churn=churn,
+        resilience=ResilienceConfig(
+            enabled=True, registry_ttl=3.0 * base.pull_interval
+        ),
+        membership=MembershipConfig(enabled=True, heal=healing),
+    )
+
+
+@dataclass(frozen=True)
+class Experiment5Point:
+    """One operating point of the availability grid."""
+
+    churn_rate: float
+    straggler_count: int
+    healing: bool
+    submitted: int
+    succeeded: int
+    failed: int
+    unresolved: int
+    deadline_met: int
+    epsilon: float
+    upsilon_percent: float
+    beta_percent: float
+    crashes: int
+    membership: MembershipSummary
+    wall_seconds: float
+
+    @property
+    def completion_rate(self) -> float:
+        """Requests that produced a successful result / requests submitted."""
+        return self.succeeded / self.submitted if self.submitted else 0.0
+
+    @property
+    def deadline_met_rate(self) -> float:
+        """The SLO success rate: completed by the deadline / submitted.
+
+        This is the metric the healing-vs-static comparison turns on:
+        orphaned subtrees usually still *complete* requests (they absorb
+        locally), but without re-parenting they cannot load-balance, and
+        deadline attainment is what pays for it.
+        """
+        return self.deadline_met / self.submitted if self.submitted else 0.0
+
+
+@dataclass
+class Experiment5Result:
+    """The full availability study: each cell run healed and static."""
+
+    request_count: int
+    master_seed: int
+    points: List[Experiment5Point]
+
+    def point(
+        self, churn_rate: float, straggler_count: int, *, healing: bool
+    ) -> Experiment5Point:
+        """The point at exactly this cell and arm."""
+        for p in self.points:
+            if (
+                p.churn_rate == churn_rate
+                and p.straggler_count == straggler_count
+                and p.healing == healing
+            ):
+                return p
+        raise ExperimentError(
+            f"no point at churn={churn_rate}, stragglers={straggler_count}, "
+            f"healing={healing}"
+        )
+
+    def healing_advantage(
+        self, churn_rate: float, straggler_count: int
+    ) -> float:
+        """Deadline-met-rate delta, healing minus static, for one cell."""
+        healed = self.point(churn_rate, straggler_count, healing=True)
+        static = self.point(churn_rate, straggler_count, healing=False)
+        return healed.deadline_met_rate - static.deadline_met_rate
+
+
+def run_experiment5(
+    *,
+    request_count: int = 600,
+    master_seed: int = 2003,
+    churn_rates: Sequence[float] = DEFAULT_CHURN_RATES,
+    straggler_counts: Sequence[int] = DEFAULT_STRAGGLER_COUNTS,
+    base: Optional[ExperimentConfig] = None,
+    topology: Optional[GridTopology] = None,
+    workload: Optional[List[WorkloadItem]] = None,
+) -> Experiment5Result:
+    """Run the availability grid; every cell twice (healing and static).
+
+    All points replay the identical seeded workload (generated once for
+    the default topology, or passed in alongside a generated scenario's
+    topology for the 500–1000-agent tier).
+    """
+    cfg = base if base is not None else experiment4_base_config(
+        master_seed=master_seed, request_count=request_count
+    )
+    cfg = replace(cfg, name="experiment-5")
+    topo = topology if topology is not None else case_study_topology()
+    items = (
+        workload
+        if workload is not None
+        else generate_workload(
+            topo.agent_names,
+            paper_application_specs(),
+            count=cfg.request_count,
+            interval=cfg.request_interval,
+            master_seed=cfg.master_seed,
+        )
+    )
+    points: List[Experiment5Point] = []
+    for healing in (True, False):
+        for churn_rate in churn_rates:
+            for straggler_count in straggler_counts:
+                point_config = experiment5_config(
+                    cfg,
+                    topo,
+                    churn_rate=churn_rate,
+                    straggler_count=straggler_count,
+                    healing=healing,
+                )
+                run = run_degraded(point_config, topo, workload=items)
+                assert run.membership is not None  # membership always on here
+                points.append(
+                    Experiment5Point(
+                        churn_rate=churn_rate,
+                        straggler_count=straggler_count,
+                        healing=healing,
+                        submitted=run.submitted,
+                        succeeded=run.succeeded,
+                        failed=run.failed,
+                        unresolved=run.unresolved,
+                        deadline_met=run.deadline_met,
+                        epsilon=run.result.metrics.total.epsilon,
+                        upsilon_percent=run.result.metrics.total.upsilon_percent,
+                        beta_percent=run.result.metrics.total.beta_percent,
+                        crashes=run.crashes,
+                        membership=run.membership,
+                        wall_seconds=run.result.wall_seconds,
+                    )
+                )
+    return Experiment5Result(
+        request_count=cfg.request_count,
+        master_seed=cfg.master_seed,
+        points=points,
+    )

@@ -150,9 +150,21 @@ def build_grid(
     specs = paper_application_specs()
     schedulers: Dict[str, LocalScheduler] = {}
     agents: Dict[str, Agent] = {}
+    # The jitter stream exists only when the knob is on: stream creation
+    # alone perturbs the registry digest, and jitter-off must stay
+    # byte-identical to the seed.
+    jitter_rng = (
+        rngs.stream("backoff-jitter") if config.resilience.backoff_jitter > 0 else None
+    )
     for i, name in enumerate(topo.agent_names):
         resource = ResourceModel.homogeneous(
             name, topo.platform(name), topo.nproc[name]
+        )
+        # A straggler node's tasks run slower than their PACE predictions
+        # (grey failure): the fault spec's service factor becomes a
+        # constant background load on the execution engine.
+        service_factor = (
+            config.faults.service_factor_for(name) if config.faults is not None else 1.0
         )
         # Each cluster's scheduler (and its executor, monitor, and agent
         # timers downstream) schedules through its own event lane; only
@@ -177,6 +189,11 @@ def build_grid(
             monitor_poll_interval=config.monitor_poll_interval,
             freetime_mode=config.freetime_mode,
             tracer=tracer,
+            load_profile=(
+                (lambda t, _load=service_factor - 1.0: _load)
+                if service_factor > 1.0
+                else None
+            ),
         )
         schedulers[name] = scheduler
         agents[name] = Agent(
@@ -188,6 +205,8 @@ def build_grid(
             discovery_config=config.discovery,
             advertisement=_advertisement(config),
             resilience=config.resilience,
+            membership=config.membership,
+            jitter_rng=jitter_rng,
             tracer=tracer,
         )
         transport.assign_lane(agents[name].endpoint, name)
@@ -196,6 +215,7 @@ def build_grid(
         transport,
         sim.lane_view(PORTAL_NAME),
         resilience=config.resilience,
+        jitter_rng=jitter_rng,
         tracer=tracer,
     )
     transport.assign_lane(portal.endpoint, PORTAL_NAME)

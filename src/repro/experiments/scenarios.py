@@ -34,10 +34,13 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.agents.membership import MembershipConfig
+from repro.agents.resilience import ResilienceConfig
 from repro.errors import ExperimentError
 from repro.experiments.casestudy import GridTopology
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workload import WorkloadItem
+from repro.net.faults import ChurnSpec, FaultPlanSpec, StragglerFault
 from repro.pace.hardware import DEFAULT_CATALOGUE
 from repro.pace.workloads import paper_application_specs
 from repro.scheduling.scheduler import SchedulingPolicy
@@ -46,6 +49,7 @@ from repro.utils.rng import RngRegistry
 __all__ = [
     "ARRIVAL_PROCESSES",
     "CASE_STUDY_MIX",
+    "CHAOS_PRESETS",
     "MAX_AGENTS",
     "Scenario",
     "ScenarioSpec",
@@ -57,6 +61,25 @@ __all__ = [
 
 #: Supported arrival processes (see the module table).
 ARRIVAL_PROCESSES = ("uniform", "poisson", "mmpp", "diurnal", "pareto")
+
+#: Chaos tiers a scenario can opt into (``ScenarioSpec.chaos``):
+#: ``"none"`` (default, byte-identical to pre-chaos scenarios),
+#: ``"loss"`` (plan-wide message drop + latency jitter),
+#: ``"coordinator-churn"`` (a quarter of the coordinators crash for good),
+#: ``"stragglers"`` (~2% of the leaves go grey: slow responses, slow
+#: service), and ``"grey-combo"`` (churn + stragglers + mild loss).
+CHAOS_PRESETS = ("none", "loss", "coordinator-churn", "stragglers", "grey-combo")
+
+#: Grey-failure severity used by the chaos presets: a straggler's sends
+#: arrive ``uniform(0.5, 1.5) × 3 s`` late — enough to trip suspicion on
+#: the default detector, never enough to confirm death — and its tasks run
+#: twice as slow as predicted.
+CHAOS_STRAGGLER_DELAY = 3.0
+CHAOS_STRAGGLER_FACTOR = 2.0
+#: Fraction of coordinators the churn presets crash (restarts never fire —
+#: the downtime outlives any run, making every crash permanent).
+CHAOS_CHURN_RATE = 0.25
+CHAOS_CHURN_DOWNTIME = 1e9
 
 #: Ceiling on generated grid size — the ROADMAP's 100× target with slack.
 MAX_AGENTS = 5000
@@ -106,6 +129,12 @@ class ScenarioSpec:
         Multiplier on every drawn Table-1 deadline offset.
     master_seed:
         Seed for every stream the generator draws from.
+    chaos:
+        One of :data:`CHAOS_PRESETS`.  ``"none"`` (default) changes
+        nothing; any other tier folds a fault plan, churn schedule, and
+        the robustness layer (ACK/retry + membership with healing) into
+        :meth:`config`, and stamps the tier into the scenario
+        fingerprint.
     """
 
     name: str
@@ -126,6 +155,7 @@ class ScenarioSpec:
     pareto_alpha: float = 1.5
     deadline_scale: float = 1.0
     master_seed: int = 2003
+    chaos: str = "none"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -169,6 +199,55 @@ class ScenarioSpec:
             raise ExperimentError("deadline_scale must be > 0")
         if self.master_seed < 0:
             raise ExperimentError("master_seed must be >= 0")
+        if self.chaos not in CHAOS_PRESETS:
+            raise ExperimentError(
+                f"unknown chaos preset {self.chaos!r} (choose from {CHAOS_PRESETS})"
+            )
+
+    def straggler_names(self) -> Tuple[str, ...]:
+        """The agents the chaos presets turn grey — a pure spec function.
+
+        The last ~2% of agents (minimum one) in generation order: in the
+        complete *branching*-ary tree those are always leaves, so grey
+        failures degrade workers, not routing interior.  Empty when the
+        grid is a single agent (the head must not straggle alone).
+        """
+        if self.chaos not in ("stragglers", "grey-combo"):
+            return ()
+        count = max(1, self.agent_count // 50)
+        names = [f"G{i + 1}" for i in range(self.agent_count)]
+        eligible = names[1:]
+        return tuple(eligible[len(eligible) - min(count, len(eligible)):])
+
+    def chaos_fault_spec(self) -> Optional[FaultPlanSpec]:
+        """The fault plan for this spec's chaos tier (``None`` for none)."""
+        stragglers = tuple(
+            StragglerFault(
+                node=name,
+                response_delay=CHAOS_STRAGGLER_DELAY,
+                service_factor=CHAOS_STRAGGLER_FACTOR,
+            )
+            for name in self.straggler_names()
+        )
+        if self.chaos == "loss":
+            return FaultPlanSpec(drop_probability=0.05, latency_jitter=0.5)
+        if self.chaos == "stragglers":
+            return FaultPlanSpec(stragglers=stragglers) if stragglers else None
+        if self.chaos == "grey-combo":
+            return FaultPlanSpec(
+                drop_probability=0.02, latency_jitter=0.5, stragglers=stragglers
+            )
+        return None
+
+    def chaos_churn_spec(self) -> Optional[ChurnSpec]:
+        """The churn spec for this spec's chaos tier (``None`` for none)."""
+        if self.chaos in ("coordinator-churn", "grey-combo"):
+            return ChurnSpec(
+                rate=CHAOS_CHURN_RATE,
+                downtime=CHAOS_CHURN_DOWNTIME,
+                target="coordinators",
+            )
+        return None
 
     def config(
         self,
@@ -184,6 +263,11 @@ class ScenarioSpec:
         engine and fabric, not the GA (pass ``policy=SchedulingPolicy.GA``
         for paper-faithful scheduling).  Any config field can be
         overridden by keyword.
+
+        A chaos tier other than ``"none"`` arms the whole robustness
+        stack: the tier's fault plan and churn schedule, ACK/retry with a
+        registry TTL, and membership with self-healing.  Overrides still
+        win (pass ``membership=...`` for the static-hierarchy ablation).
         """
         base = ExperimentConfig(
             name=f"scenario-{self.name}",
@@ -193,6 +277,17 @@ class ScenarioSpec:
             request_interval=1.0 / self.rate,
             master_seed=self.master_seed,
         )
+        if self.chaos != "none":
+            base = replace(
+                base,
+                name=f"{base.name}-{self.chaos}",
+                faults=self.chaos_fault_spec(),
+                churn=self.chaos_churn_spec(),
+                resilience=ResilienceConfig(
+                    enabled=True, registry_ttl=3.0 * base.pull_interval
+                ),
+                membership=MembershipConfig(enabled=True),
+            )
         return replace(base, **overrides) if overrides else base
 
 
@@ -365,5 +460,11 @@ def scenario_fingerprint(scenario: Scenario) -> str:
             for item in scenario.workload
         ],
     }
+    # The chaos tier changes what the run injects, not the grid or the
+    # requests — but two scenarios differing only in tier are different
+    # experiments, so it joins the identity.  "none" is omitted to keep
+    # every pre-chaos fingerprint stable.
+    if scenario.spec.chaos != "none":
+        body["chaos"] = scenario.spec.chaos
     canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

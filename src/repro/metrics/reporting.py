@@ -16,6 +16,7 @@ from repro.utils.tables import render_table
 if TYPE_CHECKING:  # pragma: no cover - layering: metrics never imports
     # experiments at runtime; the renderer duck-types its input.
     from repro.experiments.experiment4 import Experiment4Result
+    from repro.experiments.experiment5 import Experiment5Result
 
 __all__ = [
     "table3_rows",
@@ -23,6 +24,7 @@ __all__ = [
     "figure_series",
     "render_figure_series",
     "render_experiment4",
+    "render_experiment5",
 ]
 
 
@@ -124,6 +126,47 @@ def render_experiment4(
         data.append(row)
     mode = "resilient protocol" if result.resilient else "no-retry baseline"
     return render_table(headers, data, title=f"{title} — {mode}")
+
+
+def render_experiment5(
+    result: "Experiment5Result",
+    *,
+    title: str = "Experiment 5: availability with a self-healing hierarchy",
+) -> str:
+    """Monospace rendering of the availability grid.
+
+    One row per (churn, stragglers) cell and healing arm, pairing the
+    SLO rates with the detection/repair counters that explain them.
+    """
+    if not result.points:
+        raise ValidationError("experiment-5 result has no points")
+    headers = [
+        "churn", "grey", "healing", "completed", "met deadline", "crashes",
+        "suspects", "confirms", "orphaned", "repaired", "repair (s)",
+        "ε (s)", "β (%)",
+    ]
+    data: List[List[object]] = []
+    for p in sorted(
+        result.points,
+        key=lambda p: (p.churn_rate, p.straggler_count, not p.healing),
+    ):
+        m = p.membership
+        data.append([
+            f"{p.churn_rate:.0%}",
+            p.straggler_count,
+            "on" if p.healing else "off",
+            f"{p.succeeded}/{p.submitted} ({p.completion_rate:.0%})",
+            f"{p.deadline_met_rate:.0%}",
+            p.crashes,
+            m.suspects,
+            m.confirms,
+            m.orphaned,
+            m.adoptions_completed + m.promotions,
+            f"{m.mean_repair_seconds:.2f}" if m.repair_count else "-",
+            round(p.epsilon) if p.epsilon == p.epsilon else None,
+            round(p.beta_percent) if p.beta_percent == p.beta_percent else None,
+        ])
+    return render_table(headers, data, title=title)
 
 
 def render_figure_series(

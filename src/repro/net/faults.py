@@ -35,6 +35,7 @@ from repro.net.message import Endpoint, Message
 __all__ = [
     "LinkFault",
     "PartitionWindow",
+    "StragglerFault",
     "FaultPlanSpec",
     "FaultVerdict",
     "FaultPlan",
@@ -99,6 +100,45 @@ class PartitionWindow:
 
 
 @dataclass(frozen=True)
+class StragglerFault:
+    """A grey failure: one node that is *slow*, not dead.
+
+    ``node`` is an agent name.  Two multiplicative degradations apply:
+
+    * **response delay** — every message the node sends arrives
+      ``uniform(0.5, 1.5) × response_delay`` seconds late (drawn per send
+      from the fault RNG stream).  Heartbeats straggle with everything
+      else, which is exactly what forces the failure detector to
+      distinguish slow from dead.
+    * **service factor** — tasks *executing* on the node's resource run
+      ``service_factor ×`` slower than their PACE prediction (applied via
+      the execution engine's background-load hook), so schedules built
+      from clean predictions quietly miss deadlines.
+    """
+
+    node: str
+    response_delay: float = 0.0
+    service_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValidationError("straggler node must be a non-empty name")
+        if self.response_delay < 0:
+            raise ValidationError(
+                f"response_delay must be >= 0, got {self.response_delay}"
+            )
+        if self.service_factor < 1.0:
+            raise ValidationError(
+                f"service_factor must be >= 1, got {self.service_factor}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this straggler cannot affect anything."""
+        return self.response_delay == 0.0 and self.service_factor == 1.0
+
+
+@dataclass(frozen=True)
 class FaultPlanSpec:
     """A picklable, seed-free description of the faults to inject.
 
@@ -112,6 +152,7 @@ class FaultPlanSpec:
     latency_jitter: float = 0.0
     link_faults: Tuple[LinkFault, ...] = ()
     partitions: Tuple[PartitionWindow, ...] = ()
+    stragglers: Tuple[StragglerFault, ...] = ()
 
     def __post_init__(self) -> None:
         _check_probability(self.drop_probability, "drop_probability")
@@ -122,6 +163,10 @@ class FaultPlanSpec:
         # Tolerate lists (e.g. parsed from JSON) by normalising to tuples.
         object.__setattr__(self, "link_faults", tuple(self.link_faults))
         object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        nodes = [s.node for s in self.stragglers]
+        if len(nodes) != len(set(nodes)):
+            raise ValidationError("straggler nodes must be distinct")
 
     @property
     def is_noop(self) -> bool:
@@ -131,7 +176,20 @@ class FaultPlanSpec:
             and self.latency_jitter == 0.0
             and all(f.drop_probability == 0.0 for f in self.link_faults)
             and not self.partitions
+            and all(s.is_noop for s in self.stragglers)
         )
+
+    def service_factor_for(self, node: str) -> float:
+        """Execution-slowdown factor for *node* (1.0 when not a straggler).
+
+        Consulted at grid-build time: the runner installs a constant
+        background-load profile on the node's local scheduler so its tasks
+        run ``factor ×`` slower than predicted.
+        """
+        for straggler in self.stragglers:
+            if straggler.node == node:
+                return straggler.service_factor
+        return 1.0
 
     # --------------------------------------------------------------- JSON I/O
 
@@ -149,7 +207,9 @@ class FaultPlanSpec:
              "latency_jitter": 0.5,
              "link_faults": [{"src": "S1", "dst": "S2", "drop_probability": 1.0}],
              "partitions": [{"start": 100, "end": 200,
-                             "group_a": ["S1"], "group_b": ["S2", "S3"]}]}
+                             "group_a": ["S1"], "group_b": ["S2", "S3"]}],
+             "stragglers": [{"node": "S7", "response_delay": 3.0,
+                             "service_factor": 2.0}]}
         """
         try:
             raw = json.loads(document)
@@ -157,7 +217,13 @@ class FaultPlanSpec:
             raise ValidationError(f"invalid fault-plan JSON: {exc}") from exc
         if not isinstance(raw, dict):
             raise ValidationError("fault-plan JSON must be an object")
-        known = {"drop_probability", "latency_jitter", "link_faults", "partitions"}
+        known = {
+            "drop_probability",
+            "latency_jitter",
+            "link_faults",
+            "partitions",
+            "stragglers",
+        }
         unknown = set(raw) - known
         if unknown:
             raise ValidationError(f"unknown fault-plan keys: {sorted(unknown)}")
@@ -178,11 +244,20 @@ class FaultPlanSpec:
             )
             for e in raw.get("partitions", ())
         )
+        stragglers = tuple(
+            StragglerFault(
+                node=str(e["node"]),
+                response_delay=float(e.get("response_delay", 0.0)),
+                service_factor=float(e.get("service_factor", 1.0)),
+            )
+            for e in raw.get("stragglers", ())
+        )
         return cls(
             drop_probability=float(raw.get("drop_probability", 0.0)),
             latency_jitter=float(raw.get("latency_jitter", 0.0)),
             link_faults=links,
             partitions=partitions,
+            stragglers=stragglers,
         )
 
 
@@ -226,6 +301,7 @@ class FaultPlan:
             spec.drop_probability > 0.0
             or spec.latency_jitter > 0.0
             or any(f.drop_probability > 0.0 for f in spec.link_faults)
+            or any(s.response_delay > 0.0 for s in spec.stragglers)
         )
         if needs_rng and rng is None:
             # Partition-only plans are purely clock-driven and need none.
@@ -249,9 +325,15 @@ class FaultPlan:
             )
             for window in spec.partitions
         ]
+        self._straggler_delay: Dict[Endpoint, float] = {
+            self._resolve(names, s.node): s.response_delay
+            for s in spec.stragglers
+            if s.response_delay > 0.0
+        }
         self.dropped_by_chance = 0
         self.dropped_by_partition = 0
         self.jittered = 0
+        self.straggled = 0
 
     @staticmethod
     def _resolve(names: Mapping[str, Endpoint], name: str) -> Endpoint:
@@ -278,6 +360,7 @@ class FaultPlan:
         self.dropped_by_chance = 0
         self.dropped_by_partition = 0
         self.jittered = 0
+        self.straggled = 0
 
     def on_send(self, message: Message, now: float) -> FaultVerdict:
         """Decide one send's fate; called by the transport for every message.
@@ -302,14 +385,21 @@ class FaultPlan:
             if self._rng.random() < probability:
                 self.dropped_by_chance += 1
                 return FaultVerdict(drop=True, reason="loss")
+        extra = 0.0
+        reasons: List[str] = []
+        delay = self._straggler_delay.get(sender, 0.0)
+        if delay > 0.0:
+            assert self._rng is not None
+            extra += float(self._rng.uniform(0.5, 1.5)) * delay
+            self.straggled += 1
+            reasons.append("straggler")
         if self._spec.latency_jitter > 0.0:
             assert self._rng is not None
+            extra += float(self._rng.uniform(0.0, self._spec.latency_jitter))
             self.jittered += 1
-            return FaultVerdict(
-                drop=False,
-                extra_latency=float(self._rng.uniform(0.0, self._spec.latency_jitter)),
-                reason="jitter",
-            )
+            reasons.append("jitter")
+        if extra > 0.0:
+            return FaultVerdict(drop=False, extra_latency=extra, reason="+".join(reasons))
         return _DELIVER
 
 
@@ -333,6 +423,10 @@ class ChurnSpec:
     downtime: float = 60.0
     window: Tuple[float, float] = (0.1, 0.6)
     exclude_head: bool = True
+    #: Which agents may be chosen: ``"any"`` (default, the pre-targeting
+    #: behaviour), ``"coordinators"`` (agents with children — the
+    #: self-healing stressor), or ``"leaves"`` (agents without children).
+    target: str = "any"
 
     def __post_init__(self) -> None:
         _check_probability(self.rate, "churn rate")
@@ -341,6 +435,10 @@ class ChurnSpec:
         lo, hi = self.window
         if not (0.0 <= lo < hi <= 1.0):
             raise ValidationError(f"window must satisfy 0 <= lo < hi <= 1, got {self.window}")
+        if self.target not in ("any", "coordinators", "leaves"):
+            raise ValidationError(
+                f"target must be 'any', 'coordinators' or 'leaves', got {self.target!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -399,6 +497,7 @@ class ChurnSchedule:
         rng: np.random.Generator,
         *,
         head: Optional[str] = None,
+        coordinators: Optional[Sequence[str]] = None,
     ) -> "ChurnSchedule":
         """Draw a schedule for *agent_names* over ``[0, horizon]``.
 
@@ -407,10 +506,24 @@ class ChurnSchedule:
         crash uniformly inside the spec's window and one restart
         ``downtime`` seconds later.  Same ``(names, spec, horizon, stream)``
         → same schedule, independent of everything else in the run.
+
+        When the spec targets ``"coordinators"`` or ``"leaves"``, the
+        caller must pass *coordinators* (the names of agents with
+        children) and eligibility is further restricted to that role.
         """
         if horizon <= 0:
             raise ValidationError(f"horizon must be > 0, got {horizon}")
         eligible = [n for n in agent_names if not (spec.exclude_head and n == head)]
+        if spec.target != "any":
+            if coordinators is None:
+                raise ValidationError(
+                    f"churn target {spec.target!r} requires the coordinator set"
+                )
+            roles = set(coordinators)
+            if spec.target == "coordinators":
+                eligible = [n for n in eligible if n in roles]
+            else:
+                eligible = [n for n in eligible if n not in roles]
         count = int(round(spec.rate * len(eligible)))
         if count == 0:
             return cls([])

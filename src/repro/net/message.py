@@ -77,6 +77,9 @@ class MessageKind(enum.Enum):
     ADVERTISE = "advertise"  # service information (Fig. 5), pushed or pulled
     PULL = "pull"            # ask a neighbour for its current service info
     ACK = "ack"              # receipt of a REQUEST (resilience layer only)
+    HEARTBEAT = "heartbeat"  # liveness beacon between linked agents (membership)
+    ADOPT = "adopt"          # orphaned agent asks a new parent to take it in
+    ADOPTED = "adopted"      # adopter's confirmation closing the re-parenting
 
 
 @dataclass(frozen=True, slots=True)

@@ -11,14 +11,14 @@ them under their paper-facing names.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.net.message import Endpoint
 from repro.net.xmlio import parse_service_info, service_info_to_xml
 from repro.tasks.task import Environment, TaskRequest
 
-__all__ = ["ServiceInfo", "RequestEnvelope", "TaskResult"]
+__all__ = ["ServiceInfo", "RequestEnvelope", "TaskResult", "KinInfo"]
 
 
 @dataclass(frozen=True)
@@ -109,6 +109,27 @@ class RequestEnvelope:
     def visited(self, station: str) -> "RequestEnvelope":
         """A copy with *station* appended to the trace."""
         return replace(self, trace=self.trace + (station,))
+
+
+@dataclass(frozen=True)
+class KinInfo:
+    """Next-of-kin knowledge a coordinator piggybacks on child heartbeats.
+
+    The paper's agents are "only aware of neighbouring agents", so an
+    orphaned subtree would have no repair target when its coordinator dies.
+    Each parent→child HEARTBEAT therefore carries the two hops of context
+    self-healing needs: the sender's own parent (the child's *grandparent*)
+    and the sender's full children list in its canonical order (the child's
+    *siblings*, eldest first).  Both are (name, endpoint) pairs.
+    """
+
+    parent: str
+    grandparent: Optional[Tuple[str, Endpoint]]
+    siblings: Tuple[Tuple[str, Endpoint], ...]
+
+    def eldest(self) -> Optional[Tuple[str, Endpoint]]:
+        """The first sibling in the parent's children order, if any."""
+        return self.siblings[0] if self.siblings else None
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,11 @@ trace (DESIGN.md "Trace determinism" section):
 ``evolve-monotone``
     Within one ``GAScheduler.evolve`` call the per-generation best cost
     never increases: elitism always carries the incumbent forward.
+``no-suspected-dispatch``
+    An agent never forwards a request to a peer it currently holds under
+    suspicion (``member.suspect`` without a later ``member.alive`` /
+    ``member.dead``) — the membership layer's performance-info quarantine
+    must keep eq.-(10) matchmaking away from possibly-dead neighbours.
 
 Violations are returned, not raised, so tests can assert emptiness and
 the CLI can render every problem at once.
@@ -38,7 +43,11 @@ from repro.obs.records import (
     AckSent,
     AgentDown,
     AgentUp,
+    DiscoveryEvaluated,
     EvolveStep,
+    MemberAlive,
+    MemberDead,
+    MemberSuspected,
     MessageSent,
     PortalResult,
     TaskCompleted,
@@ -79,6 +88,7 @@ def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
     downs_by_agent: Dict[str, List[int]] = {}
     completed_requests: Dict[Tuple[str, int], bool] = {}
     resulted_requests: set = set()
+    suspected_by: Dict[str, set] = {}  # agent name -> peers it suspects
 
     def flag(rule: str, record: TraceRecord, index: int, message: str) -> None:
         violations.append(Violation(rule, record.t, index, message))
@@ -129,6 +139,21 @@ def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
                     "send-after-down", record, index,
                     f"{record.msg} sent from {record.sender} which went "
                     f"down at record #{since}",
+                )
+        elif isinstance(record, MemberSuspected):
+            suspected_by.setdefault(record.agent, set()).add(record.peer)
+        elif isinstance(record, (MemberAlive, MemberDead)):
+            suspected_by.get(record.agent, set()).discard(record.peer)
+        elif isinstance(record, DiscoveryEvaluated):
+            if (
+                record.decision == "forward"
+                and record.target is not None
+                and record.target in suspected_by.get(record.agent, ())
+            ):
+                flag(
+                    "no-suspected-dispatch", record, index,
+                    f"{record.agent} forwarded request {record.request_id} "
+                    f"to {record.target} while suspecting it",
                 )
         elif isinstance(record, AckSent):
             last_ack[record.request_id] = (index, record.agent)

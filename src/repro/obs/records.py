@@ -58,6 +58,11 @@ __all__ = [
     "ForwardGiveUp",
     "AgentDown",
     "AgentUp",
+    "MemberSuspected",
+    "MemberAlive",
+    "MemberDead",
+    "AdoptRequested",
+    "AdoptionCompleted",
     "PortalSubmitted",
     "PortalRetry",
     "PortalResult",
@@ -222,6 +227,63 @@ class AgentUp(TraceRecord):
     endpoint: str
 
 
+# ----------------------------------------------------------- membership layer
+
+
+@dataclass(frozen=True)
+class MemberSuspected(TraceRecord):
+    """A linked peer crossed the suspicion lease (no heartbeat)."""
+
+    kind: ClassVar[str] = "member.suspect"
+
+    agent: str
+    peer: str
+    silence: float
+
+
+@dataclass(frozen=True)
+class MemberAlive(TraceRecord):
+    """A suspected peer heartbeated again — slow, not dead."""
+
+    kind: ClassVar[str] = "member.alive"
+
+    agent: str
+    peer: str
+
+
+@dataclass(frozen=True)
+class MemberDead(TraceRecord):
+    """A suspected peer crossed the confirmation threshold: link severed."""
+
+    kind: ClassVar[str] = "member.dead"
+
+    agent: str
+    peer: str
+    silence: float
+
+
+@dataclass(frozen=True)
+class AdoptRequested(TraceRecord):
+    """An orphaned (or rejoining) agent asking a new parent to take it in."""
+
+    kind: ClassVar[str] = "member.adopt"
+
+    agent: str
+    target: str
+    attempt: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class AdoptionCompleted(TraceRecord):
+    """A re-parenting handshake closing: ``child`` now hangs off ``parent``."""
+
+    kind: ClassVar[str] = "member.adopted"
+
+    parent: str
+    child: str
+
+
 # --------------------------------------------------------------- portal layer
 
 
@@ -356,6 +418,11 @@ CANONICAL_FIELDS: Mapping[str, Tuple[str, ...]] = {
     "agent.give_up": ("agent", "request_id"),
     "agent.down": ("agent",),
     "agent.up": ("agent",),
+    "member.suspect": ("agent", "peer"),
+    "member.alive": ("agent", "peer"),
+    "member.dead": ("agent", "peer"),
+    "member.adopt": ("agent", "target", "attempt", "reason"),
+    "member.adopted": ("parent", "child"),
     "portal.submit": ("request_id", "agent", "application", "deadline"),
     "portal.retry": ("request_id", "attempt"),
     "portal.result": ("request_id", "success", "synthetic"),

@@ -376,3 +376,54 @@ class TestPortalResilience:
             grid.portal.submit(
                 grid.agents["A2"], specs["sweep3d"].model, Environment.TEST, 500.0
             )
+
+
+class TestForwardDedupBounds:
+    """The dedup map must stay bounded over long uptimes (cap + TTL)."""
+
+    def make_agent(self, sim, **kwargs):
+        grid = ResilientGrid(
+            sim, resilience=ResilienceConfig(enabled=True, **kwargs)
+        )
+        return grid.agents["A2"]
+
+    @staticmethod
+    def key(i: int):
+        return (Endpoint(f"peer{i % 97}.grid", 2000 + i % 97), i, 0)
+
+    def test_10k_soak_stays_at_the_cap(self, sim):
+        """Regression: 10k distinct forwards must not grow the map unboundedly."""
+        agent = self.make_agent(sim, dedup_cap=512)
+        for i in range(10_000):
+            assert not agent._remember_forward(self.key(i))  # noqa: SLF001
+        seen = agent._seen_forwards  # noqa: SLF001 - bound under test
+        assert len(seen) == 512
+        # Least-recently-seen keys were the ones evicted.
+        assert set(seen) == {self.key(i) for i in range(9_488, 10_000)}
+        # A key past the cap horizon is treated as brand-new work...
+        assert not agent._remember_forward(self.key(0))  # noqa: SLF001
+        # ...while a recent key is still recognised as a duplicate.
+        assert agent._remember_forward(self.key(9_999))  # noqa: SLF001
+
+    def test_duplicate_refreshes_recency(self, sim):
+        agent = self.make_agent(sim, dedup_cap=8)
+        for i in range(8):
+            agent._remember_forward(self.key(i))  # noqa: SLF001
+        assert agent._remember_forward(self.key(0))  # noqa: SLF001 - refresh
+        agent._remember_forward(self.key(100))  # noqa: SLF001 - evicts key(1)
+        assert agent._remember_forward(self.key(0))  # noqa: SLF001 - survived
+        assert not agent._remember_forward(self.key(1))  # noqa: SLF001
+
+    def test_ttl_expires_old_keys(self, sim):
+        agent = self.make_agent(sim, dedup_ttl=5.0)
+        agent._remember_forward(self.key(1))  # noqa: SLF001
+        sim.schedule_in(6.0, lambda: None)
+        sim.run_until(6.0)
+        # Past the window: the retransmission counts as new work again.
+        assert not agent._remember_forward(self.key(1))  # noqa: SLF001
+        assert len(agent._seen_forwards) == 1  # noqa: SLF001
+
+    def test_unbounded_default_still_dedups(self, sim):
+        agent = self.make_agent(sim)
+        assert not agent._remember_forward(self.key(3))  # noqa: SLF001
+        assert agent._remember_forward(self.key(3))  # noqa: SLF001

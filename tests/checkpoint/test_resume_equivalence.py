@@ -147,3 +147,79 @@ class TestDegradedResume:
             + canonical_lines(tracer_post.records),
         )
         assert full.counters == resumed.counters
+
+
+def healing_cell_config() -> ExperimentConfig:
+    """An Experiment-5 cell: permanent coordinator churn + grey leaves."""
+    from repro.experiments.casestudy import case_study_topology
+    from repro.experiments.experiment5 import experiment5_config
+
+    return experiment5_config(
+        experiment4_base_config(request_count=20),
+        case_study_topology(),
+        churn_rate=0.5,
+        straggler_count=2,
+        healing=True,
+    )
+
+
+class TestMidHealResume:
+    """Checkpoint/restore must round-trip *during* a repair byte-identically.
+
+    The hard state: a confirmed-dead parent, an orphaned healer with an
+    in-flight ADOPT and its retry timer armed, detector leases mid-lease,
+    and possibly results held by a crashed agent.  Snapshots are taken at
+    several points across the run; at least one must actually land inside
+    a repair window (the test fails loudly if the sweep never does, so
+    the step grid can be re-tuned rather than silently passing).
+    """
+
+    # 380 and 490 land inside the two repair windows (t=18 and t=22, an
+    # in-flight ADOPT each); the later points cover steady post-repair
+    # state.  All must stay inside the run's phase-1 step count —
+    # checkpoint_degraded steps blindly, so a step past the horizon break
+    # would snapshot a world the uninterrupted run never entered.
+    STEPS = (380, 490, 1500, 3000)
+
+    @staticmethod
+    def snapshot_mid_heal(payload) -> bool:
+        agents = payload["system"]["agents"].values()
+        return any(
+            state["membership"] is not None
+            and state["membership"]["healer"]["pending"] is not None
+            for state in agents
+        )
+
+    def test_resume_is_byte_identical_across_the_repair(self, tmp_path):
+        from repro.checkpoint.format import read_snapshot
+        from repro.experiments.experiment4 import run_degraded
+
+        config = healing_cell_config()
+        message_module.set_message_counter(0)
+        tracer_full = Tracer()
+        full = run_degraded(config, tracer=tracer_full)
+        assert full.crashes > 0 and full.membership is not None
+
+        mid_heal_hits = 0
+        for at_step in self.STEPS:
+            path = str(tmp_path / f"heal-{at_step}.json")
+            message_module.set_message_counter(0)
+            tracer_pre = Tracer()
+            checkpoint_degraded(
+                config, tracer=tracer_pre, at_step=at_step, path=path
+            )
+            mid_heal_hits += self.snapshot_mid_heal(read_snapshot(path))
+            tracer_post = Tracer()
+            resumed = resume_degraded(path, tracer=tracer_post)
+            assert_equivalent(
+                full.result,
+                resumed.result,
+                canonical_lines(tracer_full.records),
+                canonical_lines(tracer_pre.records)
+                + canonical_lines(tracer_post.records),
+            )
+            assert full.counters == resumed.counters
+            assert full.membership == resumed.membership
+        assert mid_heal_hits > 0, (
+            "no snapshot landed mid-heal; re-tune STEPS to cover a repair"
+        )

@@ -188,3 +188,84 @@ class TestGeneratedScenarioCheckpointing:
         base = spec.config()
         assert base.request_count == spec.request_count
         assert replace(base, name="x").name == "x"
+
+
+class TestChaosTiers:
+    def test_default_is_none_and_validated(self):
+        assert spec_for().chaos == "none"
+        with pytest.raises(ExperimentError, match="chaos"):
+            spec_for(chaos="tornado")
+
+    def test_none_tier_leaves_fingerprint_and_config_unchanged(self):
+        """chaos="none" is byte-invisible: same fingerprint, same config."""
+        plain = generate_scenario(spec_for())
+        explicit = generate_scenario(spec_for(chaos="none"))
+        assert scenario_fingerprint(plain) == scenario_fingerprint(explicit)
+        config = explicit.spec.config()
+        assert config.faults is None and config.churn is None
+        assert not config.membership.enabled
+        assert not config.resilience.enabled
+
+    def test_each_tier_stamps_the_fingerprint(self):
+        from repro.experiments.scenarios import CHAOS_PRESETS
+
+        prints = {
+            chaos: scenario_fingerprint(generate_scenario(spec_for(chaos=chaos)))
+            for chaos in CHAOS_PRESETS
+        }
+        assert len(set(prints.values())) == len(CHAOS_PRESETS)
+
+    def test_chaos_changes_nothing_but_the_fingerprint_stamp(self):
+        """The grid and workload are chaos-independent; only the injected
+        failure config (and hence the fingerprint) differs."""
+        plain = generate_scenario(spec_for())
+        chaotic = generate_scenario(spec_for(chaos="grey-combo"))
+        assert plain.topology.platforms == chaotic.topology.platforms
+        assert plain.workload == chaotic.workload
+
+    def test_straggler_names_are_trailing_leaves(self):
+        spec = spec_for(chaos="stragglers", agent_count=100)
+        names = spec.straggler_names()
+        assert names == ("G99", "G100")
+        assert spec_for(chaos="stragglers", agent_count=40).straggler_names() == (
+            "G40",
+        )
+        # Only the grey tiers straggle; the head never does.
+        assert spec_for(chaos="loss").straggler_names() == ()
+        assert "G1" not in spec_for(
+            chaos="grey-combo", agent_count=2
+        ).straggler_names()
+
+    def test_coordinator_churn_tier_arms_the_full_stack(self):
+        from repro.experiments.scenarios import (
+            CHAOS_CHURN_DOWNTIME,
+            CHAOS_CHURN_RATE,
+        )
+
+        config = spec_for(chaos="coordinator-churn").config()
+        assert config.name.endswith("-coordinator-churn")
+        assert config.churn is not None
+        assert config.churn.target == "coordinators"
+        assert config.churn.rate == CHAOS_CHURN_RATE
+        assert config.churn.downtime == CHAOS_CHURN_DOWNTIME
+        assert config.faults is None
+        assert config.resilience.enabled
+        assert config.membership.enabled and config.membership.heal
+
+    def test_grey_combo_tier_composes_all_faults(self):
+        spec = spec_for(chaos="grey-combo")
+        config = spec.config()
+        assert config.faults is not None
+        assert config.faults.drop_probability > 0
+        assert config.faults.latency_jitter > 0
+        assert [s.node for s in config.faults.stragglers] == list(
+            spec.straggler_names()
+        )
+        assert config.churn is not None
+
+    def test_overrides_beat_the_chaos_wiring(self):
+        from repro.agents.membership import MembershipConfig
+
+        static = MembershipConfig(enabled=True, heal=False)
+        config = spec_for(chaos="coordinator-churn").config(membership=static)
+        assert config.membership is static

@@ -13,6 +13,7 @@ from repro.net.faults import (
     FaultPlanSpec,
     LinkFault,
     PartitionWindow,
+    StragglerFault,
 )
 from repro.net.message import Endpoint, Message, MessageKind
 from repro.net.transport import Transport
@@ -240,3 +241,116 @@ class TestChurn:
         )
         times = [e.time for e in schedule]
         assert times == sorted(times)
+
+
+class TestStragglers:
+    def spec(self, **kwargs) -> FaultPlanSpec:
+        defaults = dict(node="A", response_delay=3.0, service_factor=2.0)
+        defaults.update(kwargs)
+        return FaultPlanSpec(stragglers=(StragglerFault(**defaults),))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            StragglerFault(node="")
+        with pytest.raises(ValidationError):
+            StragglerFault(node="A", response_delay=-1.0)
+        with pytest.raises(ValidationError):
+            StragglerFault(node="A", service_factor=0.5)
+        with pytest.raises(ValidationError):
+            FaultPlanSpec(
+                stragglers=(StragglerFault(node="A"), StragglerFault(node="A"))
+            )
+
+    def test_noop_straggler_is_noop(self):
+        assert StragglerFault(node="A").is_noop
+        assert FaultPlanSpec(stragglers=(StragglerFault(node="A"),)).is_noop
+        assert not self.spec().is_noop
+        assert not self.spec(response_delay=0.0).is_noop  # factor 2 remains
+
+    def test_service_factor_lookup(self):
+        spec = self.spec()
+        assert spec.service_factor_for("A") == 2.0
+        assert spec.service_factor_for("B") == 1.0
+
+    def test_json_round_trip(self):
+        spec = self.spec()
+        again = FaultPlanSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_sends_from_straggler_arrive_late(self):
+        plan = FaultPlan(self.spec(), np.random.default_rng(3), NAMES)
+        for _ in range(50):
+            verdict = plan.on_send(_msg(sender=A), now=1.0)
+            assert not verdict.drop
+            assert 1.5 <= verdict.extra_latency <= 4.5  # uniform(0.5,1.5)×3
+            assert verdict.reason == "straggler"
+        assert plan.straggled == 50
+
+    def test_sends_to_straggler_are_untouched(self):
+        plan = FaultPlan(self.spec(), np.random.default_rng(3), NAMES)
+        verdict = plan.on_send(_msg(sender=B, recipient=A), now=1.0)
+        assert not verdict.drop and verdict.extra_latency == 0.0
+        assert plan.straggled == 0
+
+    def test_straggler_and_jitter_compose(self):
+        spec = FaultPlanSpec(
+            latency_jitter=0.5,
+            stragglers=(StragglerFault(node="A", response_delay=3.0),),
+        )
+        plan = FaultPlan(spec, np.random.default_rng(3), NAMES)
+        verdict = plan.on_send(_msg(sender=A), now=1.0)
+        assert verdict.reason == "straggler+jitter"
+        assert verdict.extra_latency > 1.5
+
+    def test_delayless_straggler_needs_no_rng(self):
+        spec = FaultPlanSpec(
+            stragglers=(StragglerFault(node="A", service_factor=2.0),)
+        )
+        plan = FaultPlan(spec, endpoints=NAMES)  # must not raise
+        verdict = plan.on_send(_msg(sender=A), now=1.0)
+        assert verdict.extra_latency == 0.0
+
+    def test_unknown_straggler_node_raises(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(self.spec(node="Z"), np.random.default_rng(0), NAMES)
+
+
+class TestCoordinatorChurn:
+    NAMES = [f"S{i}" for i in range(1, 9)]
+    COORDS = ["S2", "S3"]
+
+    def test_target_validation(self):
+        with pytest.raises(ValidationError):
+            ChurnSpec(target="heads")
+        assert ChurnSpec(target="coordinators").target == "coordinators"
+
+    def test_targeted_generate_requires_roles(self):
+        spec = ChurnSpec(rate=0.5, target="coordinators")
+        with pytest.raises(ValidationError, match="coordinators"):
+            ChurnSchedule.generate(
+                self.NAMES, spec, 100.0, np.random.default_rng(1), head="S1"
+            )
+
+    def test_coordinator_target_crashes_only_coordinators(self):
+        spec = ChurnSpec(rate=1.0, target="coordinators")
+        schedule = ChurnSchedule.generate(
+            self.NAMES,
+            spec,
+            100.0,
+            np.random.default_rng(1),
+            head="S1",
+            coordinators=self.COORDS,
+        )
+        assert {e.agent for e in schedule} == set(self.COORDS)
+
+    def test_leaves_target_spares_coordinators(self):
+        spec = ChurnSpec(rate=1.0, target="leaves", exclude_head=False)
+        schedule = ChurnSchedule.generate(
+            self.NAMES,
+            spec,
+            100.0,
+            np.random.default_rng(1),
+            coordinators=self.COORDS + ["S1"],
+        )
+        crashed = {e.agent for e in schedule if e.action == "crash"}
+        assert crashed == set(self.NAMES) - set(self.COORDS) - {"S1"}
