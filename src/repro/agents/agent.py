@@ -26,10 +26,11 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.agents.advertisement import AdvertisementStrategy, NoAdvertisement
 from repro.net.payloads import KinInfo, RequestEnvelope, TaskResult
-from repro.agents.discovery import Decision, DiscoveryConfig, DiscoveryOutcome, discover
+from repro.agents.discovery import Decision, DiscoveryConfig, DiscoveryOutcome
 from repro.agents.healing import Healer
 from repro.agents.matchmaking import MatchResult, match_request
 from repro.agents.membership import FailureDetector, MembershipConfig
+from repro.agents.policy import GlobalPolicy, GlobalPolicyConfig, make_policy
 from repro.agents.resilience import ResilienceConfig
 from repro.agents.service_info import ServiceInfo
 from repro.errors import AgentError, TransportError
@@ -39,7 +40,6 @@ from repro.obs.records import (
     AckSent,
     AgentDown,
     AgentUp,
-    DiscoveryEvaluated,
     ForwardGiveUp,
     ForwardRetry,
     LocalSubmit,
@@ -131,6 +131,7 @@ class Agent:
         advertisement: Optional[AdvertisementStrategy] = None,
         resilience: ResilienceConfig = ResilienceConfig(),
         membership: MembershipConfig = MembershipConfig(),
+        global_policy: GlobalPolicyConfig = GlobalPolicyConfig(),
         jitter_rng: Optional[Any] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -176,6 +177,8 @@ class Agent:
         # to reach beyond the current neighbour links.
         self._directory: Optional[Mapping[Endpoint, "Agent"]] = None
         self._active = True
+        # The global balancing strategy: routing entries delegate here.
+        self._policy: GlobalPolicy = make_policy(global_policy, self)
         transport.register(endpoint, self._handle_message)
         scheduler.on_result(self._handle_local_completion)
 
@@ -245,6 +248,11 @@ class Agent:
     def healer(self) -> Optional[Healer]:
         """The self-healing protocol driver, or ``None`` when disabled."""
         return self._healer
+
+    @property
+    def policy(self) -> GlobalPolicy:
+        """The global balancing policy this agent runs."""
+        return self._policy
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -330,6 +338,9 @@ class Agent:
     def _on_peer_dead(self, peer: "Agent") -> None:
         """Membership confirmed *peer* dead: sever the link, quarantine its
         stale performance record, and hand any orphaning to the healer."""
+        # The policy releases anything the dead peer holds here (booked
+        # reservation windows) before the link goes.
+        self._policy.on_peer_dead(peer)
         self._registry.pop(peer.endpoint, None)
         self._registry_time.pop(peer.endpoint, None)
         if peer is self._parent:
@@ -394,6 +405,10 @@ class Agent:
         # make a retransmitted REQUEST after reactivate() look like a
         # duplicate — ACKed but never processed, silently losing it.
         self._seen_forwards.clear()
+        # Same for policy-held state: open auctions and booked windows die
+        # with the process (settle/release records land before agent.down),
+        # so the next incarnation honours no stale bids or grants.
+        self._policy.on_deactivate()
         # Same for liveness leases and in-flight repairs.
         if self._detector is not None:
             self._detector.reset()
@@ -581,21 +596,35 @@ class Agent:
         attempt: int,
         prev_target: Optional[Endpoint] = None,
     ) -> None:
-        """Run discovery for *envelope* and act on the decision.
+        """Hand *envelope* to the global policy to place.
 
         ``exclude`` holds targets already tried for this request at this
         station (empty on first routing); retries re-enter here with the
         failed targets excluded so the request re-routes to the
-        next-best neighbour instead of hammering a dead one.
+        next-best neighbour instead of hammering a dead one — whatever
+        the active policy, a retry re-runs its *full* decision procedure
+        (re-discover, re-auction, re-reserve) minus the dead targets.
         """
-        request = envelope.request
-        now = self.sim.now
-        local_match = match_request(
-            request, self.service_info(), self._evaluator, self._catalogue, now
+        self._policy.route(
+            envelope,
+            hops,
+            exclude=exclude,
+            attempt=attempt,
+            prev_target=prev_target,
         )
+
+    def neighbour_matches(
+        self, request, *, exclude: FrozenSet[Endpoint], now: float
+    ) -> Dict[Endpoint, MatchResult]:
+        """eq.-(10) matches against each usable neighbour's advert.
+
+        Skips excluded and quarantined endpoints, and evicts (counting
+        ``registry_expired``) adverts older than the resilience TTL —
+        the shared candidate-gathering step of every global policy.
+        """
         ttl = self._resilience.registry_ttl
         detector = self._detector
-        neighbour_matches: Dict[Endpoint, MatchResult] = {}
+        matches: Dict[Endpoint, MatchResult] = {}
         for neighbour in self.neighbours():
             ep = neighbour.endpoint
             if ep in exclude:
@@ -613,76 +642,39 @@ class Agent:
                 self._registry_time.pop(ep, None)
                 self._stats.registry_expired += 1
                 continue
-            neighbour_matches[ep] = match_request(
+            matches[ep] = match_request(
                 request, info, self._evaluator, self._catalogue, now
             )
-        parent_ep = self._parent.endpoint if self._parent is not None else None
-        if (
-            parent_ep is not None
-            and detector is not None
-            and detector.is_quarantined(parent_ep)
-        ):
-            # A suspected parent cannot be escalated to either; discovery
-            # falls back to head behaviour (best-effort local) meanwhile.
-            parent_ep = None
-        outcome = discover(
-            local_match, neighbour_matches, parent_ep, hops, self._discovery_config
-        )
-        self._outcomes.append((envelope.request_id, outcome))
-        if self._tracer is not None:
-            self._tracer.emit(
-                DiscoveryEvaluated(
-                    t=now,
-                    agent=self._name,
-                    request_id=envelope.request_id,
-                    hops=hops,
-                    decision=outcome.decision.value,
-                    target=self._peer_name(outcome.target),
-                    estimate=outcome.estimate,
-                    reason=outcome.reason,
-                )
-            )
-        if outcome.decision is Decision.LOCAL:
-            self._submit_locally(envelope)
-            return
-        if outcome.decision is not Decision.FORWARD:
-            self._stats.rejected += 1
-            self._send_result(envelope, self._failure_result(envelope))
-            return
-        assert outcome.target is not None
-        if outcome.target in exclude:
-            # Escalation is unconditional in discover(), so a retry can
-            # re-pick an already-tried parent; going around again would
-            # loop, not progress.
-            self._stats.gave_up += 1
-            if self._tracer is not None:
-                self._tracer.emit(
-                    ForwardGiveUp(
-                        t=now,
-                        agent=self._name,
-                        request_id=envelope.request_id,
-                    )
-                )
-            self._absorb_or_fail(envelope, local_match)
-            return
-        self._stats.forwarded += 1
-        if outcome.target == parent_ep and outcome.reason.startswith("escalate"):
-            self._stats.escalated += 1
+        return matches
+
+    def forward_request(
+        self,
+        envelope: RequestEnvelope,
+        hops: int,
+        target: Endpoint,
+        *,
+        exclude: FrozenSet[Endpoint],
+        attempt: int,
+        prev_target: Optional[Endpoint] = None,
+    ) -> bool:
+        """Dispatch *envelope* to *target*; returns delivery acceptance.
+
+        The shared forwarding tail of every global policy: on delivery
+        the reroute counter and — with resilience enabled — the
+        ack-timeout timer arm exactly as the seed's eq.-(10) path did,
+        so retries re-enter the active policy with ``target`` excluded.
+        """
         delivered = self._send_best_effort(
             Message(
                 MessageKind.REQUEST,
                 self._endpoint,
-                outcome.target,
+                target,
                 payload=envelope,
                 hops=hops + 1,
             )
         )
         if not delivered:
-            # The chosen agent is gone; absorb the request locally if
-            # possible rather than losing it (its registry entry was
-            # dropped, so the next decision will not repeat the pick).
-            self._absorb_or_fail(envelope, local_match)
-            return
+            return False
         if prev_target is not None:
             self._stats.reroutes += 1
         if self._resilience.enabled:
@@ -696,11 +688,12 @@ class Agent:
             self._pending_acks[request_id] = _PendingForward(
                 envelope=envelope,
                 hops=hops,
-                target=outcome.target,
+                target=target,
                 attempt=attempt,
-                tried=exclude | {outcome.target},
+                tried=exclude | {target},
                 handle=handle,
             )
+        return True
 
     def _backoff_delay(self, attempt: int) -> float:
         """The retry delay for *attempt*: exponential backoff plus jitter.
@@ -882,9 +875,13 @@ class Agent:
             if self._healer is not None:
                 self._healer.handle_adopted(message.sender)
         else:
-            raise AgentError(
-                f"agent {self._name!r} cannot handle {message.kind.value!r}"
-            )
+            # Policy-protocol kinds (CFP/BID/RESERVE/CONFIRM/REJECT/RELEASE)
+            # belong to the active global policy; anything it disowns is a
+            # genuine protocol error.
+            if not self._policy.handle_message(message):
+                raise AgentError(
+                    f"agent {self._name!r} cannot handle {message.kind.value!r}"
+                )
 
     def _remember_forward(self, key: Tuple[Endpoint, int, int]) -> bool:
         """Record a forward-dedup key; returns whether it was already known.
@@ -1019,6 +1016,9 @@ class Agent:
                 for (ep, rid, hops), t in self._seen_forwards.items()
             ],
             "advertisement": self._advertisement.snapshot_state(),
+            # In-flight policy protocol state (open auctions, pending
+            # reservations, booked windows); {} for the stateless eq10.
+            "policy": self._policy.snapshot_state(),
             "membership": (
                 None
                 if self._detector is None or self._healer is None
@@ -1114,6 +1114,10 @@ class Agent:
                 handle=handle,
             )
         self._advertisement.restore_state(state["advertisement"], self)
+        # Pre-policy snapshots carry no "policy" key: nothing was in flight.
+        self._policy.restore_state(
+            state.get("policy") or {}, applications=applications
+        )
         member_state = state.get("membership")
         if (
             member_state is not None

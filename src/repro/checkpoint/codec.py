@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.errors import CheckpointError
 from repro.net.message import Endpoint, Message, MessageKind
-from repro.net.payloads import KinInfo, RequestEnvelope, ServiceInfo, TaskResult
+from repro.net.payloads import (
+    BidInfo,
+    KinInfo,
+    RequestEnvelope,
+    ReservationGrant,
+    ServiceInfo,
+    TaskResult,
+)
 from repro.tasks.task import Environment, Task, TaskRequest, TaskState
 
 __all__ = [
@@ -35,6 +42,10 @@ __all__ = [
     "decode_service_info",
     "encode_kin_info",
     "decode_kin_info",
+    "encode_bid_info",
+    "decode_bid_info",
+    "encode_reservation_grant",
+    "decode_reservation_grant",
     "encode_message",
     "decode_message",
     "encode_task",
@@ -219,6 +230,42 @@ def decode_kin_info(data: Dict[str, Any]) -> KinInfo:
     )
 
 
+def encode_bid_info(bid: BidInfo) -> Dict[str, Any]:
+    """``BidInfo`` → dict (auction policy layer)."""
+    return {
+        "request_id": bid.request_id,
+        "eta": bid.eta,
+        "supported": bid.supported,
+    }
+
+
+def decode_bid_info(data: Dict[str, Any]) -> BidInfo:
+    """Inverse of :func:`encode_bid_info`."""
+    return BidInfo(
+        request_id=int(data["request_id"]),
+        eta=float(data["eta"]),
+        supported=bool(data["supported"]),
+    )
+
+
+def encode_reservation_grant(grant: ReservationGrant) -> Dict[str, Any]:
+    """``ReservationGrant`` → dict (reservation policy layer)."""
+    return {
+        "request_id": grant.request_id,
+        "start": grant.start,
+        "end": grant.end,
+    }
+
+
+def decode_reservation_grant(data: Dict[str, Any]) -> ReservationGrant:
+    """Inverse of :func:`encode_reservation_grant`."""
+    return ReservationGrant(
+        request_id=int(data["request_id"]),
+        start=float(data["start"]),
+        end=float(data["end"]),
+    )
+
+
 def _encode_payload(payload: Any) -> Dict[str, Any]:
     if payload is None:
         return {"type": "none", "data": None}
@@ -236,6 +283,10 @@ def _encode_payload(payload: Any) -> Dict[str, Any]:
         return {"type": "result", "data": encode_task_result(payload)}
     if isinstance(payload, ServiceInfo):
         return {"type": "service_info", "data": encode_service_info(payload)}
+    if isinstance(payload, BidInfo):
+        return {"type": "bid", "data": encode_bid_info(payload)}
+    if isinstance(payload, ReservationGrant):
+        return {"type": "grant", "data": encode_reservation_grant(payload)}
     raise CheckpointError(
         f"unencodable message payload type {type(payload).__name__!r}"
     )
@@ -257,6 +308,10 @@ def _decode_payload(data: Dict[str, Any], applications: Applications) -> Any:
         return decode_task_result(data["data"])
     if kind == "service_info":
         return decode_service_info(data["data"])
+    if kind == "bid":
+        return decode_bid_info(data["data"])
+    if kind == "grant":
+        return decode_reservation_grant(data["data"])
     raise CheckpointError(f"unknown message payload tag {kind!r}")
 
 

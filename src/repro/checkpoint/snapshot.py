@@ -142,6 +142,7 @@ def decode_config(data: Dict[str, Any]):
     """
     from repro.agents.discovery import DiscoveryConfig
     from repro.agents.membership import MembershipConfig
+    from repro.agents.policy import GlobalPolicyConfig
     from repro.agents.resilience import ResilienceConfig
     from repro.experiments.config import ExperimentConfig
     from repro.net.faults import ChurnSpec, FaultPlanSpec
@@ -188,6 +189,9 @@ def decode_config(data: Dict[str, Any]):
             # Pre-membership snapshots carry no "membership" key; they
             # restore with the detector disabled (the seed behaviour).
             membership=MembershipConfig(**data.get("membership") or {}),
+            # Pre-policy snapshots carry no "global_policy" key; they
+            # restore on eq10, the seed dispatch rule.
+            global_policy=GlobalPolicyConfig(**data.get("global_policy") or {}),
         )
     except (KeyError, TypeError) as exc:
         raise CheckpointError(f"snapshot config does not match this build: {exc}")

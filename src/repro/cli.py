@@ -123,6 +123,32 @@ def build_parser() -> argparse.ArgumentParser:
                       "every churn cell; zero confirmed deaths without a "
                       "crash; every orphan repaired)")
 
+    exp6 = sub.add_parser(
+        "experiment6",
+        help="global-policy tournament: eq10 vs auction vs reservation "
+        "across clean/loss/bursty/churn cells",
+    )
+    exp6.add_argument("--requests", type=int, default=120)
+    exp6.add_argument("--seed", type=int, default=2003)
+    exp6.add_argument("--bursty-agents", type=int, default=60, metavar="N",
+                      help="grid size of the generated MMPP bursty cell")
+    exp6.add_argument("--policies", nargs="+",
+                      default=["eq10", "auction", "reservation"],
+                      choices=("eq10", "auction", "reservation"),
+                      metavar="KIND", help="which global policies to enter")
+    exp6.add_argument("--cells", nargs="+",
+                      default=["clean", "loss", "bursty", "churn"],
+                      choices=("clean", "loss", "bursty", "churn"),
+                      metavar="CELL", help="which standing cells to run")
+    exp6.add_argument("--json", metavar="PATH",
+                      help="also write the tournament grid as JSON")
+    exp6.add_argument("--check", action="store_true",
+                      help="exit non-zero unless the policy invariants hold "
+                      "(eq10 clean cell byte-identical to the seed path; "
+                      "every auction settles or times out; no double-booked "
+                      "reservation windows; reservations released on "
+                      "confirmed death)")
+
     perf = sub.add_parser(
         "perf", help="run the performance benchmark suite, write BENCH_PERF.json"
     )
@@ -507,6 +533,71 @@ def _cmd_experiment5(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_experiment6(args) -> int:
+    from dataclasses import asdict
+    import json as json_module
+
+    from repro.experiments.experiment6 import (
+        run_experiment6,
+        run_policy_invariants,
+    )
+    from repro.metrics.reporting import render_experiment6
+
+    print(f"Running experiment 6 ({args.requests} requests, seed {args.seed}, "
+          f"policies {args.policies}, cells {args.cells})...", file=sys.stderr)
+    result = run_experiment6(
+        request_count=args.requests,
+        master_seed=args.seed,
+        bursty_agents=args.bursty_agents,
+        policies=tuple(args.policies),
+        cells=tuple(args.cells),
+        verify_parity=args.check and "clean" in args.cells,
+    )
+    print(render_experiment6(result))
+    if args.json:
+        payload = {
+            "request_count": result.request_count,
+            "master_seed": result.master_seed,
+            "bursty_agents": result.bursty_agents,
+            "points": [asdict(p) for p in result.points],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if not args.check:
+        return 0
+    failures = []
+    if result.parity:
+        for mismatch in result.parity:
+            failures.append(f"eq10 clean cell is not the seed path: {mismatch}")
+    for p in result.points:
+        if p.cell == "clean" and p.completion_rate < 1.0:
+            failures.append(
+                f"clean cell incomplete under {p.policy}: "
+                f"{p.succeeded}/{p.submitted}"
+            )
+    for probe in run_policy_invariants(
+        request_count=args.requests, master_seed=args.seed
+    ):
+        for violation in probe.violations:
+            failures.append(
+                f"{probe.policy}/{probe.cell} trace violates "
+                f"{violation.rule} at t={violation.t:.3f}: {violation.message}"
+            )
+        fired = {"auction": "auction.settle", "reservation": "resv.book"}
+        kind = fired[probe.policy]
+        if not probe.record_counts.get(kind):
+            failures.append(
+                f"{probe.policy}/{probe.cell} run never produced a "
+                f"{kind} record — the protocol was not exercised"
+            )
+    for failure in failures:
+        print(f"  FAIL  {failure}")
+    if not failures:
+        print("  PASS  all policy invariants hold")
+    return 1 if failures else 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import (
         MemorySink,
@@ -853,6 +944,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment4(args)
     elif args.command == "experiment5":
         return _cmd_experiment5(args)
+    elif args.command == "experiment6":
+        return _cmd_experiment6(args)
     elif args.command == "perf":
         from repro.perf import run_perf_cli
 

@@ -32,6 +32,15 @@ from repro.experiments.experiment4 import (
     run_degraded,
     run_experiment4,
 )
+from repro.experiments.experiment6 import (
+    Experiment6Cell,
+    Experiment6Point,
+    Experiment6Result,
+    experiment6_cells,
+    run_experiment6,
+    run_policy_invariants,
+    verify_clean_parity,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     GridSystem,
@@ -77,6 +86,13 @@ __all__ = [
     "experiment4_base_config",
     "run_degraded",
     "run_experiment4",
+    "Experiment6Cell",
+    "Experiment6Point",
+    "Experiment6Result",
+    "experiment6_cells",
+    "run_experiment6",
+    "run_policy_invariants",
+    "verify_clean_parity",
     "ExperimentResult",
     "GridSystem",
     "build_grid",

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.agents.discovery import DiscoveryConfig
 from repro.agents.membership import MembershipConfig
+from repro.agents.policy import GlobalPolicyConfig
 from repro.agents.resilience import ResilienceConfig
 from repro.errors import ExperimentError
 from repro.net.faults import ChurnSpec, FaultPlanSpec
@@ -68,6 +69,13 @@ class ExperimentConfig:
     # a default config builds no detector, arms no timers, and is
     # byte-identical to the seed (property-tested).
     membership: MembershipConfig = field(default_factory=MembershipConfig)
+    # Global balancing policy (Experiment 6): "eq10" (the paper's rule,
+    # the default — byte-identical to the seed path), "auction"
+    # (contract-net CFP/bid dispatch), or "reservation" (advance
+    # freetime-window booking).  Note ``policy`` above selects the
+    # *local* scheduling algorithm (FIFO/GA); this knob selects the
+    # *global* dispatch rule the agents run between clusters.
+    global_policy: GlobalPolicyConfig = field(default_factory=GlobalPolicyConfig)
     # Event-engine selection: "partitioned" (per-cluster lanes) or
     # "single-heap" (the preserved seed engine, kept as a correctness
     # oracle and perf baseline).  Byte-identical outputs either way —
@@ -93,6 +101,11 @@ class ExperimentConfig:
             raise ExperimentError(f"unknown freetime_mode {self.freetime_mode!r}")
         if self.engine not in ("partitioned", "single-heap"):
             raise ExperimentError(f"unknown engine {self.engine!r}")
+        if self.global_policy.kind != "eq10" and not self.agents_enabled:
+            raise ExperimentError(
+                f"global policy {self.global_policy.kind!r} requires the "
+                "agent mechanism (agents_enabled=True)"
+            )
         if not self.agents_enabled and not self.discovery.local_only:
             # Keep the two flags coherent: no agents => local-only discovery.
             object.__setattr__(

@@ -206,6 +206,7 @@ def build_grid(
             advertisement=_advertisement(config),
             resilience=config.resilience,
             membership=config.membership,
+            global_policy=config.global_policy,
             jitter_rng=jitter_rng,
             tracer=tracer,
         )

@@ -17,6 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover - layering: metrics never imports
     # experiments at runtime; the renderer duck-types its input.
     from repro.experiments.experiment4 import Experiment4Result
     from repro.experiments.experiment5 import Experiment5Result
+    from repro.experiments.experiment6 import Experiment6Result
 
 __all__ = [
     "table3_rows",
@@ -25,6 +26,7 @@ __all__ = [
     "render_figure_series",
     "render_experiment4",
     "render_experiment5",
+    "render_experiment6",
 ]
 
 
@@ -166,6 +168,44 @@ def render_experiment5(
             round(p.epsilon) if p.epsilon == p.epsilon else None,
             round(p.beta_percent) if p.beta_percent == p.beta_percent else None,
         ])
+    return render_table(headers, data, title=title)
+
+
+def render_experiment6(
+    result: "Experiment6Result",
+    *,
+    title: str = "Experiment 6: global-policy tournament",
+) -> str:
+    """Monospace rendering of the policy tournament.
+
+    Rows grouped by cell, one per policy, pairing the SLO rates with the
+    balancing metrics so a dispatch rule's cost shows up next to its
+    spread.
+    """
+    if not result.points:
+        raise ValidationError("experiment-6 result has no points")
+    headers = [
+        "cell", "policy", "completed", "met deadline", "unresolved",
+        "ε (s)", "υ (%)", "β (%)", "wall (s)",
+    ]
+    cells: List[str] = []
+    for p in result.points:
+        if p.cell not in cells:
+            cells.append(p.cell)
+    data: List[List[object]] = []
+    for cell in cells:
+        for p in result.cell_points(cell):
+            data.append([
+                p.cell,
+                p.policy,
+                f"{p.succeeded}/{p.submitted} ({p.completion_rate:.0%})",
+                f"{p.deadline_met_rate:.0%}",
+                p.unresolved,
+                round(p.epsilon) if p.epsilon == p.epsilon else None,
+                round(p.upsilon_percent) if p.upsilon_percent == p.upsilon_percent else None,
+                round(p.beta_percent) if p.beta_percent == p.beta_percent else None,
+                f"{p.wall_seconds:.2f}",
+            ])
     return render_table(headers, data, title=title)
 
 

@@ -80,6 +80,12 @@ class MessageKind(enum.Enum):
     HEARTBEAT = "heartbeat"  # liveness beacon between linked agents (membership)
     ADOPT = "adopt"          # orphaned agent asks a new parent to take it in
     ADOPTED = "adopted"      # adopter's confirmation closing the re-parenting
+    CFP = "cfp"              # call-for-proposals opening an auction (policy layer)
+    BID = "bid"              # sealed completion-time bid answering a CFP
+    RESERVE = "reserve"      # ask a neighbour to book a future freetime window
+    CONFIRM = "confirm"      # reservation granted (carries the booked window)
+    REJECT = "reject"        # reservation declined (no feasible window)
+    RELEASE = "release"      # booker relinquishes a previously granted window
 
 
 @dataclass(frozen=True, slots=True)

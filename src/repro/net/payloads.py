@@ -18,7 +18,14 @@ from repro.net.message import Endpoint
 from repro.net.xmlio import parse_service_info, service_info_to_xml
 from repro.tasks.task import Environment, TaskRequest
 
-__all__ = ["ServiceInfo", "RequestEnvelope", "TaskResult", "KinInfo"]
+__all__ = [
+    "ServiceInfo",
+    "RequestEnvelope",
+    "TaskResult",
+    "KinInfo",
+    "BidInfo",
+    "ReservationGrant",
+]
 
 
 @dataclass(frozen=True)
@@ -130,6 +137,35 @@ class KinInfo:
     def eldest(self) -> Optional[Tuple[str, Endpoint]]:
         """The first sibling in the parent's children order, if any."""
         return self.siblings[0] if self.siblings else None
+
+
+@dataclass(frozen=True)
+class BidInfo:
+    """A sealed completion-time bid answering an auction CFP.
+
+    ``eta`` is the bidder's eq.-(10) completion estimate at bidding time;
+    ``supported`` is ``False`` when the bidder cannot run the request at
+    all (it still answers, so the auctioneer's pending set drains without
+    waiting out the bid timeout).
+    """
+
+    request_id: int
+    eta: float
+    supported: bool
+
+
+@dataclass(frozen=True)
+class ReservationGrant:
+    """A booked freetime window confirming an advance reservation.
+
+    ``start``/``end`` bound the slot the granting agent holds for
+    ``request_id`` until the booker's forwarded REQUEST consumes it, a
+    RELEASE relinquishes it, or the window expires.
+    """
+
+    request_id: int
+    start: float
+    end: float
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,21 @@ trace (DESIGN.md "Trace determinism" section):
     suspicion (``member.suspect`` without a later ``member.alive`` /
     ``member.dead``) — the membership layer's performance-info quarantine
     must keep eq.-(10) matchmaking away from possibly-dead neighbours.
+``bid-settles-or-times-out``
+    Every ``auction.open`` is eventually answered by exactly one
+    ``auction.settle`` (all bids in, timeout, or the auctioneer's own
+    crash) — an auction is never silently abandoned, reopened while
+    unsettled, or settled without having opened (the one exception being
+    the recordable ``"no-bidders"`` immediate settlement).
+``no-overlapping-bookings``
+    An agent's open reservation windows never overlap in time and a
+    request id is never double-booked: each ``resv.book`` must be
+    disjoint from every window the agent has booked and not yet
+    released.
+``reservation-released-on-death``
+    When membership confirms a peer dead (``member.dead``), every
+    window the survivor holds for that booker is eventually released —
+    a dead booker's slots must not pin capacity forever.
 
 Violations are returned, not raised, so tests can assert emptiness and
 the CLI can render every problem at once.
@@ -43,6 +58,8 @@ from repro.obs.records import (
     AckSent,
     AgentDown,
     AgentUp,
+    AuctionOpened,
+    AuctionSettled,
     DiscoveryEvaluated,
     EvolveStep,
     MemberAlive,
@@ -50,6 +67,8 @@ from repro.obs.records import (
     MemberSuspected,
     MessageSent,
     PortalResult,
+    ReservationBooked,
+    ReservationReleased,
     TaskCompleted,
     TaskDispatched,
     TaskQueued,
@@ -89,6 +108,12 @@ def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
     completed_requests: Dict[Tuple[str, int], bool] = {}
     resulted_requests: set = set()
     suspected_by: Dict[str, set] = {}  # agent name -> peers it suspects
+    # (agent, request_id) -> index of its still-unsettled auction.open
+    open_auctions: Dict[Tuple[str, int], int] = {}
+    # agent -> request_id -> (index, booker, start, end) of open windows
+    open_bookings: Dict[str, Dict[int, Tuple[int, str, float, float]]] = {}
+    # (agent, request_id) -> index of the member.dead that orphaned it
+    death_releases_due: Dict[Tuple[str, int], int] = {}
 
     def flag(rule: str, record: TraceRecord, index: int, message: str) -> None:
         violations.append(Violation(rule, record.t, index, message))
@@ -144,6 +169,58 @@ def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
             suspected_by.setdefault(record.agent, set()).add(record.peer)
         elif isinstance(record, (MemberAlive, MemberDead)):
             suspected_by.get(record.agent, set()).discard(record.peer)
+            if isinstance(record, MemberDead):
+                for rid, (_, booker, _, _) in open_bookings.get(
+                    record.agent, {}
+                ).items():
+                    if booker == record.peer:
+                        death_releases_due[(record.agent, rid)] = index
+        elif isinstance(record, AuctionOpened):
+            key = (record.agent, record.request_id)
+            prior = open_auctions.get(key)
+            if prior is not None:
+                flag(
+                    "bid-settles-or-times-out", record, index,
+                    f"{record.agent} reopened the auction for request "
+                    f"{record.request_id} while the one opened at record "
+                    f"#{prior} is still unsettled",
+                )
+            open_auctions[key] = index
+        elif isinstance(record, AuctionSettled):
+            key = (record.agent, record.request_id)
+            if key in open_auctions:
+                del open_auctions[key]
+            elif record.reason != "no-bidders":
+                flag(
+                    "bid-settles-or-times-out", record, index,
+                    f"{record.agent} settled request {record.request_id} "
+                    f"({record.reason}) without a prior auction.open",
+                )
+        elif isinstance(record, ReservationBooked):
+            windows = open_bookings.setdefault(record.agent, {})
+            if record.request_id in windows:
+                flag(
+                    "no-overlapping-bookings", record, index,
+                    f"{record.agent} double-booked request "
+                    f"{record.request_id} (window still open from record "
+                    f"#{windows[record.request_id][0]})",
+                )
+            for rid, (_, _, start, end) in windows.items():
+                if record.start < end - _EPS and start < record.end - _EPS:
+                    flag(
+                        "no-overlapping-bookings", record, index,
+                        f"{record.agent} booked "
+                        f"[{record.start}, {record.end}) for request "
+                        f"{record.request_id} overlapping the open window "
+                        f"[{start}, {end}) of request {rid}",
+                    )
+                    break
+            windows[record.request_id] = (
+                index, record.booker, record.start, record.end,
+            )
+        elif isinstance(record, ReservationReleased):
+            open_bookings.get(record.agent, {}).pop(record.request_id, None)
+            death_releases_due.pop((record.agent, record.request_id), None)
         elif isinstance(record, DiscoveryEvaluated):
             if (
                 record.decision == "forward"
@@ -196,6 +273,27 @@ def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
                 "ack-resolution", ack_record.t, ack_index,
                 f"request {request_id} ACKed by {agent} never completed "
                 "and the portal recorded no result",
+            )
+        )
+
+    for (agent, request_id), open_index in sorted(open_auctions.items()):
+        open_record = records[open_index]
+        violations.append(
+            Violation(
+                "bid-settles-or-times-out", open_record.t, open_index,
+                f"auction for request {request_id} opened by {agent} "
+                "never settled or timed out",
+            )
+        )
+
+    for (agent, request_id), dead_index in sorted(death_releases_due.items()):
+        dead_record = records[dead_index]
+        violations.append(
+            Violation(
+                "reservation-released-on-death", dead_record.t, dead_index,
+                f"{agent} still holds the window booked for request "
+                f"{request_id} by a peer confirmed dead at record "
+                f"#{dead_index}",
             )
         )
 

@@ -23,6 +23,12 @@ kind                emitted by
 ``agent.give_up``   the resilience layer exhausting its retries
 ``agent.down``      ``Agent.deactivate`` (crash)
 ``agent.up``        ``Agent.reactivate`` (restart)
+``auction.open``    an AuctionPolicy CFP round opening
+``auction.bid``     one sealed bid arriving at the auctioneer
+``auction.settle``  an auction resolving (all bids, timeout, or crash)
+``resv.request``    a ReservationPolicy RESERVE going out
+``resv.book``       a freetime window booked for a remote request
+``resv.release``    a booked window released (consumed/declined/death/...)
 ``portal.submit``   one portal submission
 ``portal.retry``    a portal-level resubmission
 ``portal.result``   a result recorded at the portal
@@ -58,6 +64,12 @@ __all__ = [
     "ForwardGiveUp",
     "AgentDown",
     "AgentUp",
+    "AuctionOpened",
+    "AuctionBid",
+    "AuctionSettled",
+    "ReservationRequested",
+    "ReservationBooked",
+    "ReservationReleased",
     "MemberSuspected",
     "MemberAlive",
     "MemberDead",
@@ -225,6 +237,97 @@ class AgentUp(TraceRecord):
 
     agent: str
     endpoint: str
+
+
+# --------------------------------------------------------------- policy layer
+
+
+@dataclass(frozen=True)
+class AuctionOpened(TraceRecord):
+    """An auctioneer broadcasting a CFP round for one request."""
+
+    kind: ClassVar[str] = "auction.open"
+
+    agent: str
+    request_id: int
+    hops: int
+    bidders: int
+
+
+@dataclass(frozen=True)
+class AuctionBid(TraceRecord):
+    """One sealed completion-time bid arriving at the auctioneer."""
+
+    kind: ClassVar[str] = "auction.bid"
+
+    agent: str
+    request_id: int
+    bidder: str
+    eta: float
+    supported: bool
+
+
+@dataclass(frozen=True)
+class AuctionSettled(TraceRecord):
+    """An auction resolving.
+
+    ``reason`` is ``"all-bids"`` when every bidder answered,
+    ``"timeout"`` when the bid window closed first, ``"no-bidders"``
+    when no CFP could go out, and ``"crash"`` when the auctioneer died
+    holding the auction.  ``winner`` is ``None`` when the request is
+    absorbed locally or rejected.
+    """
+
+    kind: ClassVar[str] = "auction.settle"
+
+    agent: str
+    request_id: int
+    winner: Optional[str]
+    estimate: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class ReservationRequested(TraceRecord):
+    """A RESERVE going out to the best advertised candidate."""
+
+    kind: ClassVar[str] = "resv.request"
+
+    agent: str
+    request_id: int
+    target: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class ReservationBooked(TraceRecord):
+    """A freetime window booked for a remote booker's request."""
+
+    kind: ClassVar[str] = "resv.book"
+
+    agent: str
+    request_id: int
+    booker: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class ReservationReleased(TraceRecord):
+    """A booked window released.
+
+    ``reason`` is ``"consumed"`` (the forwarded REQUEST arrived),
+    ``"declined"`` (the booker no longer wants it), ``"expired"`` (the
+    window's end passed unconsumed), ``"death"`` (membership confirmed
+    the booker dead), or ``"crash"`` (this agent itself went down).
+    """
+
+    kind: ClassVar[str] = "resv.release"
+
+    agent: str
+    request_id: int
+    booker: str
+    reason: str
 
 
 # ----------------------------------------------------------- membership layer
@@ -418,6 +521,12 @@ CANONICAL_FIELDS: Mapping[str, Tuple[str, ...]] = {
     "agent.give_up": ("agent", "request_id"),
     "agent.down": ("agent",),
     "agent.up": ("agent",),
+    "auction.open": ("agent", "request_id", "hops", "bidders"),
+    "auction.bid": ("agent", "request_id", "bidder", "eta", "supported"),
+    "auction.settle": ("agent", "request_id", "winner", "estimate", "reason"),
+    "resv.request": ("agent", "request_id", "target", "attempt"),
+    "resv.book": ("agent", "request_id", "booker", "start", "end"),
+    "resv.release": ("agent", "request_id", "booker", "reason"),
     "member.suspect": ("agent", "peer"),
     "member.alive": ("agent", "peer"),
     "member.dead": ("agent", "peer"),

@@ -1,0 +1,139 @@
+"""Resume-equivalence for in-flight global-policy protocol state.
+
+Counterpart of ``test_resume_equivalence.py`` for the policy layer: a
+snapshot taken *mid-auction* (an open CFP round with its bid timer
+armed) or *mid-reservation* (a RESERVE awaiting CONFIRM, and a booked
+window pinning a neighbour's freetime) must resume byte-identically —
+same completion records, metrics, canonical trace, and RNG digest as
+the uninterrupted run.
+
+The step grids were chosen so at least one snapshot lands inside the
+protocol window; each test asserts that it actually did (via the
+snapshot payload), so drift in event counts re-tunes the grid loudly
+instead of silently testing nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, replace
+
+import pytest
+
+import repro.net.message as message_module
+from repro.agents.policy import GlobalPolicyConfig
+from repro.checkpoint.format import read_snapshot
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.experiment4 import (
+    checkpoint_degraded,
+    experiment4_base_config,
+    resume_degraded,
+    run_degraded,
+)
+from repro.obs.records import canonical_lines
+from repro.obs.trace import Tracer
+
+
+def policy_config(kind: str) -> ExperimentConfig:
+    return replace(
+        experiment4_base_config(request_count=20),
+        global_policy=GlobalPolicyConfig(kind=kind),
+    )
+
+
+def metrics_json(metrics) -> str:
+    return json.dumps(asdict(metrics), sort_keys=True)
+
+
+def assert_equivalent(full, resumed, full_lines, combo_lines):
+    assert [asdict(r) for r in full.records] == [
+        asdict(r) for r in resumed.records
+    ]
+    assert metrics_json(full.metrics) == metrics_json(resumed.metrics)
+    assert full.rng_digest == resumed.rng_digest
+    assert combo_lines == full_lines
+
+
+def policy_states(payload):
+    return [
+        state.get("policy") or {}
+        for state in payload["system"]["agents"].values()
+    ]
+
+
+class PolicyResumeHarness:
+    """Shared sweep: full run once, then checkpoint/resume per step."""
+
+    kind: str
+    steps: tuple
+    #: payload predicate: "this snapshot landed mid-protocol"
+    @staticmethod
+    def mid_protocol(payload) -> bool:
+        raise NotImplementedError
+
+    def test_resume_is_byte_identical_mid_protocol(self, tmp_path):
+        config = policy_config(self.kind)
+        message_module.set_message_counter(0)
+        tracer_full = Tracer()
+        full = run_degraded(config, tracer=tracer_full)
+        assert full.succeeded == full.submitted  # clean cell completes
+
+        mid_hits = 0
+        for at_step in self.steps:
+            path = str(tmp_path / f"{self.kind}-{at_step}.json")
+            message_module.set_message_counter(0)
+            tracer_pre = Tracer()
+            checkpoint_degraded(
+                config, tracer=tracer_pre, at_step=at_step, path=path
+            )
+            mid_hits += self.mid_protocol(read_snapshot(path))
+            tracer_post = Tracer()
+            resumed = resume_degraded(path, tracer=tracer_post)
+            assert_equivalent(
+                full.result,
+                resumed.result,
+                canonical_lines(tracer_full.records),
+                canonical_lines(tracer_pre.records)
+                + canonical_lines(tracer_post.records),
+            )
+            assert full.counters == resumed.counters
+        assert mid_hits > 0, (
+            f"no snapshot landed mid-{self.kind}; re-tune the step grid"
+        )
+
+
+class TestMidAuctionResume(PolicyResumeHarness):
+    kind = "auction"
+    # 160 and 240 land inside open CFP rounds (bid timer armed, bids
+    # partially collected); 600 is late but still inside phase 1 (the
+    # run resolves near step 629 — checkpoint_degraded steps blindly,
+    # so a later snapshot would enter a world the full run never does).
+    steps = (160, 240, 600)
+
+    @staticmethod
+    def mid_protocol(payload) -> bool:
+        return any(state.get("open") for state in policy_states(payload))
+
+
+class TestMidReservationResume(PolicyResumeHarness):
+    kind = "reservation"
+    # 80 lands with a booked window open; 220 with a RESERVE awaiting
+    # CONFIRM *and* a window; 590 is late but still inside phase 1
+    # (the run resolves near step 607; see the auction grid note).
+    steps = (80, 220, 590)
+
+    @staticmethod
+    def mid_protocol(payload) -> bool:
+        return any(
+            state.get("pending") or state.get("bookings")
+            for state in policy_states(payload)
+        )
+
+    def test_snapshot_carries_pending_and_booking(self, tmp_path):
+        """Step 220's snapshot holds both halves of the protocol state."""
+        path = str(tmp_path / "resv-220.json")
+        message_module.set_message_counter(0)
+        checkpoint_degraded(policy_config(self.kind), at_step=220, path=path)
+        states = policy_states(read_snapshot(path))
+        assert any(state.get("pending") for state in states)
+        assert any(state.get("bookings") for state in states)

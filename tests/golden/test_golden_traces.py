@@ -1,12 +1,16 @@
 """Golden-trace regression tier: canonical traces match exactly, forever.
 
-Two checked-in traces lock in the system's decision stream end to end:
+Four checked-in traces lock in the system's decision stream end to end:
 
 * ``exp1_seed2003.jsonl`` — Experiment 1 (FIFO, no agents) at the case
   study seed: the baseline scheduling path.
 * ``exp4_loss02_churn025.jsonl`` — one faulty Experiment 4 cell (20%
   loss, 25% churn, resilient protocol): drops, crashes, retries, and
   synthetic results, all attributed.
+* ``exp6_auction_seed2003.jsonl`` — a clean run under the contract-net
+  ``AuctionPolicy``: every CFP round, sealed bid, and settlement.
+* ``exp6_reservation_seed2003.jsonl`` — a clean run under the
+  ``ReservationPolicy``: bookings, confirmations, and releases.
 
 The comparison is exact, line for line.  A diff here means a behavioural
 change — a routing decision moved, a dispatch slot shifted, a retry
@@ -22,9 +26,12 @@ records only, sim-time stamps, sorted JSON keys.
 from __future__ import annotations
 
 import pathlib
+from dataclasses import replace
 
 import pytest
 
+import repro.net.message as message_module
+from repro.agents.policy import GlobalPolicyConfig
 from repro.experiments.config import table2_experiments
 from repro.experiments.experiment4 import (
     degradation_config,
@@ -58,9 +65,22 @@ def _trace_exp4_cell() -> list:
     return canonical_lines(tracer.records)
 
 
+def _trace_exp6_policy(kind: str) -> list:
+    message_module.set_message_counter(0)
+    tracer = Tracer(MemorySink())
+    config = replace(
+        experiment4_base_config(master_seed=SEED, request_count=REQUESTS),
+        global_policy=GlobalPolicyConfig(kind=kind),
+    )
+    run_degraded(config, tracer=tracer)
+    return canonical_lines(tracer.records)
+
+
 CASES = {
     "exp1_seed2003.jsonl": _trace_exp1,
     "exp4_loss02_churn025.jsonl": _trace_exp4_cell,
+    "exp6_auction_seed2003.jsonl": lambda: _trace_exp6_policy("auction"),
+    "exp6_reservation_seed2003.jsonl": lambda: _trace_exp6_policy("reservation"),
 }
 
 

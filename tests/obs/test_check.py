@@ -8,16 +8,23 @@ trustworthy if it is quiet on correct traces (the full-system fixture in
 
 from __future__ import annotations
 
+import pytest
+
 from repro.obs.check import Violation, check_trace
 from repro.obs.records import (
     AckSent,
     AgentDown,
     AgentUp,
+    AuctionOpened,
+    AuctionSettled,
     EventFired,
     EvolveStep,
     LocalSubmit,
+    MemberDead,
     MessageSent,
     PortalResult,
+    ReservationBooked,
+    ReservationReleased,
     TaskCompleted,
     TaskDispatched,
     TaskQueued,
@@ -153,6 +160,143 @@ class TestEvolveMonotone:
         assert check_trace([
             EvolveStep(t=1.0, resource="S1", n_tasks=2, generations=3,
                        best_cost=3.0, history=(4.0, 4.0, 3.0)),
+        ]) == []
+
+
+class TestBidSettlesOrTimesOut:
+    def test_abandoned_auction_is_flagged(self):
+        violations = check_trace([
+            AuctionOpened(t=1.0, agent="A1", request_id=7, hops=0, bidders=2),
+        ])
+        assert _rules(violations) == ["bid-settles-or-times-out"]
+        assert "request 7" in violations[0].message
+
+    @pytest.mark.parametrize("reason", ["all-bids", "timeout", "crash"])
+    def test_settled_auction_is_quiet(self, reason):
+        assert check_trace([
+            AuctionOpened(t=1.0, agent="A1", request_id=7, hops=0, bidders=2),
+            AuctionSettled(t=4.0, agent="A1", request_id=7, winner="A2",
+                           estimate=9.0, reason=reason),
+        ]) == []
+
+    def test_reopen_while_unsettled_is_flagged(self):
+        violations = check_trace([
+            AuctionOpened(t=1.0, agent="A1", request_id=7, hops=0, bidders=2),
+            AuctionOpened(t=2.0, agent="A1", request_id=7, hops=0, bidders=2),
+            AuctionSettled(t=4.0, agent="A1", request_id=7, winner="A2",
+                           estimate=9.0, reason="all-bids"),
+        ])
+        assert _rules(violations) == ["bid-settles-or-times-out"]
+        assert violations[0].index == 1
+
+    def test_settle_without_open_is_flagged(self):
+        violations = check_trace([
+            AuctionSettled(t=4.0, agent="A1", request_id=7, winner="A2",
+                           estimate=9.0, reason="all-bids"),
+        ])
+        assert _rules(violations) == ["bid-settles-or-times-out"]
+
+    def test_no_bidders_settlement_needs_no_open(self):
+        """An immediate no-bidders settlement never opened a round."""
+        assert check_trace([
+            AuctionSettled(t=4.0, agent="A1", request_id=7, winner=None,
+                           estimate=float("inf"), reason="no-bidders"),
+        ]) == []
+
+    def test_other_agents_round_stays_open(self):
+        """Settlement is per-(agent, request): A2's round must not close A1's."""
+        violations = check_trace([
+            AuctionOpened(t=1.0, agent="A1", request_id=7, hops=0, bidders=2),
+            AuctionOpened(t=1.5, agent="A2", request_id=7, hops=1, bidders=1),
+            AuctionSettled(t=4.0, agent="A2", request_id=7, winner=None,
+                           estimate=2.0, reason="all-bids"),
+        ])
+        assert _rules(violations) == ["bid-settles-or-times-out"]
+        assert violations[0].index == 0
+
+
+class TestNoOverlappingBookings:
+    def test_double_booked_request_id_is_flagged(self):
+        violations = check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            ReservationBooked(t=2.0, agent="A2", request_id=7, booker="A1",
+                              start=30.0, end=40.0),
+        ])
+        assert "no-overlapping-bookings" in _rules(violations)
+
+    def test_overlapping_windows_are_flagged(self):
+        violations = check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            ReservationBooked(t=2.0, agent="A2", request_id=8, booker="A3",
+                              start=15.0, end=25.0),
+        ])
+        assert _rules(violations) == ["no-overlapping-bookings"]
+        assert "request 7" in violations[0].message
+
+    def test_back_to_back_windows_are_quiet(self):
+        assert check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            ReservationBooked(t=2.0, agent="A2", request_id=8, booker="A3",
+                              start=20.0, end=30.0),
+        ]) == []
+
+    def test_released_window_can_be_reused(self):
+        assert check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            ReservationReleased(t=3.0, agent="A2", request_id=7, booker="A1",
+                                reason="declined"),
+            ReservationBooked(t=4.0, agent="A2", request_id=8, booker="A3",
+                              start=12.0, end=18.0),
+        ]) == []
+
+    def test_same_window_on_other_agent_is_fine(self):
+        assert check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            ReservationBooked(t=2.0, agent="A3", request_id=8, booker="A1",
+                              start=10.0, end=20.0),
+        ]) == []
+
+
+class TestReservationReleasedOnDeath:
+    def test_unreleased_dead_bookers_window_is_flagged(self):
+        violations = check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            MemberDead(t=5.0, agent="A2", peer="A1", silence=16.0),
+        ])
+        assert _rules(violations) == ["reservation-released-on-death"]
+        assert violations[0].index == 1
+
+    def test_release_after_death_is_quiet(self):
+        assert check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            MemberDead(t=5.0, agent="A2", peer="A1", silence=16.0),
+            ReservationReleased(t=5.0, agent="A2", request_id=7, booker="A1",
+                                reason="death"),
+        ]) == []
+
+    def test_release_before_death_is_quiet(self):
+        assert check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            ReservationReleased(t=3.0, agent="A2", request_id=7, booker="A1",
+                                reason="consumed"),
+            MemberDead(t=5.0, agent="A2", peer="A1", silence=16.0),
+        ]) == []
+
+    def test_living_bookers_window_survives_other_deaths(self):
+        assert check_trace([
+            ReservationBooked(t=1.0, agent="A2", request_id=7, booker="A1",
+                              start=10.0, end=20.0),
+            MemberDead(t=5.0, agent="A2", peer="A3", silence=16.0),
+            ReservationReleased(t=8.0, agent="A2", request_id=7, booker="A1",
+                                reason="consumed"),
         ]) == []
 
 

@@ -189,6 +189,30 @@ class TestCommands:
         assert main(["resume", str(snap)]) == 0
         assert "rng digest: " in capsys.readouterr().out
 
+    def test_experiment6_reduced_grid(self, capsys, tmp_path):
+        json_path = tmp_path / "exp6.json"
+        assert main([
+            "experiment6", "--requests", "12", "--bursty-agents", "24",
+            "--cells", "clean", "loss", "--policies", "eq10", "auction",
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment 6" in out
+        assert "auction" in out and "eq10" in out
+        import json as json_mod
+
+        parsed = json_mod.loads(json_path.read_text())
+        assert len(parsed["points"]) == 4
+
+    def test_experiment6_check(self, capsys):
+        assert main([
+            "experiment6", "--requests", "24", "--bursty-agents", "24",
+            "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "FAIL" not in out
+
     def test_soak_with_checkpoint_then_resume(self, capsys, tmp_path):
         snap = tmp_path / "soak.json"
         assert main([
