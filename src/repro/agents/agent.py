@@ -25,7 +25,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.agents.advertisement import AdvertisementStrategy, NoAdvertisement
-from repro.net.payloads import KinInfo, RequestEnvelope, TaskResult
+from repro.net.payloads import KinInfo, RequestEnvelope, TaskResult, TransferPayload
 from repro.agents.discovery import Decision, DiscoveryConfig, DiscoveryOutcome
 from repro.agents.healing import Healer
 from repro.agents.matchmaking import MatchResult, match_request
@@ -40,6 +40,7 @@ from repro.obs.records import (
     AckSent,
     AgentDown,
     AgentUp,
+    DagTransfer,
     ForwardGiveUp,
     ForwardRetry,
     LocalSubmit,
@@ -133,10 +134,15 @@ class Agent:
         membership: MembershipConfig = MembershipConfig(),
         global_policy: GlobalPolicyConfig = GlobalPolicyConfig(),
         jitter_rng: Optional[Any] = None,
+        transfer_bandwidth: float = 1.0,
         tracer: Optional[Tracer] = None,
     ) -> None:
         if not name:
             raise AgentError("agent name must be non-empty")
+        if not (transfer_bandwidth > 0):
+            raise AgentError(
+                f"transfer_bandwidth must be > 0, got {transfer_bandwidth}"
+            )
         self._name = name
         self._tracer = tracer
         self._endpoint = endpoint
@@ -144,6 +150,10 @@ class Agent:
         self._transport = transport
         self._catalogue = catalogue
         self._discovery_config = discovery_config
+        # Data units per second a workflow input stages in at (§ tasks
+        # moving between clusters); the transport's base latency rides on
+        # top of the size/bandwidth serialisation delay.
+        self._transfer_bandwidth = float(transfer_bandwidth)
         self._resilience = resilience
         self._advertisement = advertisement or NoAdvertisement()
         self._parent: Optional["Agent"] = None
@@ -795,6 +805,68 @@ class Agent:
                     task_id=task.task_id,
                 )
             )
+        if envelope.request.workflow is not None:
+            self._stage_in_inputs(task.task_id, envelope.request)
+
+    @property
+    def transfer_bandwidth(self) -> float:
+        """Data units per second workflow inputs stage in at."""
+        return self._transfer_bandwidth
+
+    def transfer_penalty(self, request: TaskRequest, resource_name: str) -> float:
+        """Data-gravity term: seconds to stage *request*'s remote inputs.
+
+        Inputs already on *resource_name* (or bound to an in-flight
+        co-located parent, marked by an empty source) cost nothing; each
+        of the others charges its serialisation delay plus one transport
+        latency.  Zero for independent tasks.
+        """
+        binding = request.workflow
+        if binding is None:
+            return 0.0
+        latency = self._transport.latency
+        total = 0.0
+        for _parent, source, size in binding.inputs:
+            if source and source != resource_name:
+                total += size / self._transfer_bandwidth + latency
+        return total
+
+    def _stage_in_inputs(self, task_id: int, request: TaskRequest) -> None:
+        """Pull every remote input of a just-accepted workflow task.
+
+        Each remote input becomes a TRANSFER message this agent sends to
+        itself with the serialisation delay (``size / bandwidth``) as
+        extra transport latency — data movement rides the same delivery,
+        fault, and checkpoint machinery as protocol traffic.  The
+        scheduler's gate for the task was registered during submit; each
+        arrival clears one key.
+        """
+        binding = request.workflow
+        assert binding is not None
+        own = self._scheduler.resource.name
+        now = self.sim.now
+        latency = self._transport.latency
+        for parent_node, source, size in binding.inputs:
+            if not source or source == own:
+                continue  # co-located (gated on completion) or already local
+            delay = size / self._transfer_bandwidth
+            self._scheduler.set_start_floor(task_id, now + latency + delay)
+            self._transport.send(
+                Message(
+                    MessageKind.TRANSFER,
+                    self._endpoint,
+                    self._endpoint,
+                    payload=TransferPayload(
+                        workflow_id=binding.workflow_id,
+                        node=binding.node,
+                        parent=parent_node,
+                        source=source,
+                        size=size,
+                        task_id=task_id,
+                    ),
+                ),
+                extra_latency=delay,
+            )
 
     # --------------------------------------------------------------- messages
 
@@ -857,6 +929,24 @@ class Agent:
             self._stats.advertisements_received += 1
             self._registry[message.sender] = info
             self._registry_time[message.sender] = self.sim.now
+        elif message.kind is MessageKind.TRANSFER:
+            payload = message.payload
+            if not isinstance(payload, TransferPayload):
+                raise AgentError(
+                    f"bad TRANSFER payload: {type(payload).__name__}"
+                )
+            if self._tracer is not None:
+                self._tracer.emit(
+                    DagTransfer(
+                        t=self.sim.now,
+                        agent=self._name,
+                        workflow=payload.workflow_id,
+                        node=payload.node,
+                        source=payload.source,
+                        size=payload.size,
+                    )
+                )
+            self._scheduler.notify_input_arrived(payload.task_id, payload.parent)
         elif message.kind is MessageKind.HEARTBEAT:
             # Tolerated with membership off: a mixed-config neighbour may
             # still beacon; there is simply nothing to refresh here.

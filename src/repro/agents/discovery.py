@@ -45,11 +45,20 @@ class DiscoveryConfig:
     supported request is absorbed by the receiving agent's own scheduler —
     the configuration of the paper's experiments 1 and 2 ("no supporting
     higher-level agent-based mechanism provided").
+
+    ``data_gravity`` extends eq. (10) for workflow tasks: a candidate's
+    expected completion is charged the staging time of every input not
+    already on that resource (``size / bandwidth`` plus transport
+    latency), pulling children toward their parents' outputs.  Off by
+    default — independent tasks carry no inputs, so the term is zero for
+    them either way, but the flag keeps even the workflow code path
+    byte-identical when disabled.
     """
 
     max_hops: int = 10
     strict: bool = False
     local_only: bool = False
+    data_gravity: bool = False
 
     def __post_init__(self) -> None:
         if self.max_hops < 1:

@@ -45,6 +45,27 @@ class MatchResult:
         """The no-match result for an environment mismatch."""
         return cls(service, False, float("inf"), 0, False)
 
+    def with_transfer_penalty(
+        self, penalty: float, deadline: float
+    ) -> "MatchResult":
+        """This match with *penalty* staging seconds added to its eta.
+
+        The data-gravity adjustment: inputs not already on the candidate
+        resource must move there first, so its eq.-(10) estimate slips by
+        the transfer time and the deadline verdict is re-derived.  A
+        zero penalty (or an unsupported match) returns ``self`` unchanged.
+        """
+        if not self.supported or penalty <= 0.0:
+            return self
+        eta = self.eta + penalty
+        return MatchResult(
+            service=self.service,
+            supported=True,
+            eta=eta,
+            best_count=self.best_count,
+            meets_deadline=eta <= deadline,
+        )
+
 
 def match_request(
     request: TaskRequest,

@@ -198,6 +198,26 @@ class Eq10Policy(GlobalPolicy):
         neighbour_matches = agent.neighbour_matches(
             request, exclude=exclude, now=now
         )
+        if (
+            request.workflow is not None
+            and agent._discovery_config.data_gravity
+        ):
+            # Data gravity: charge each candidate the staging time of the
+            # inputs it does not already hold, pulling children toward
+            # their parents' outputs (eq. (10) extended per-candidate).
+            local_match = local_match.with_transfer_penalty(
+                agent.transfer_penalty(
+                    request, agent._scheduler.resource.name
+                ),
+                request.deadline,
+            )
+            neighbour_matches = {
+                ep: match.with_transfer_penalty(
+                    agent.transfer_penalty(request, agent._peer_name(ep) or ""),
+                    request.deadline,
+                )
+                for ep, match in neighbour_matches.items()
+            }
         parent = agent._parent
         detector = agent._detector
         parent_ep = parent.endpoint if parent is not None else None

@@ -100,6 +100,9 @@ class UserPortal:
         self._next_request_id = 0
         self._submitted: Dict[int, RequestEnvelope] = {}
         self._results: Dict[int, TaskResult] = {}
+        # Result observers (e.g. a workflow coordinator releasing
+        # children); called after a result is stored or upgraded.
+        self._result_listeners: List = []
         self._pending: Dict[int, _PendingSubmit] = {}
         self._redispatches: Dict[int, _PendingSubmit] = {}
         self._stats = PortalStats()
@@ -146,6 +149,15 @@ class UserPortal:
         """The result for *request_id*, or ``None`` if still pending."""
         return self._results.get(request_id)
 
+    def add_result_listener(self, listener) -> None:
+        """Call *listener(result)* whenever a result is stored or upgraded.
+
+        Listeners run after the portal's own bookkeeping, in registration
+        order; a workflow coordinator uses this to release children when
+        their parents complete.
+        """
+        self._result_listeners.append(listener)
+
     def envelope(self, request_id: int) -> RequestEnvelope:
         """The envelope submitted under *request_id*."""
         try:
@@ -169,6 +181,8 @@ class UserPortal:
         application: ApplicationModel,
         environment: Environment,
         deadline: float,
+        *,
+        workflow=None,
     ) -> int:
         """Submit one request to *target*; returns the request id.
 
@@ -186,6 +200,7 @@ class UserPortal:
             submit_time=now,
             email=self._email,
             origin=getattr(target, "name", str(target.endpoint)),
+            workflow=workflow,
         )
         request_id = self._next_request_id
         self._next_request_id += 1
@@ -445,6 +460,7 @@ class UserPortal:
         if existing is None:
             self._results[result.request_id] = result
             self._trace_result(result, synthetic)
+            self._notify_result(result)
             return
         # At-least-once delivery means a request can execute (or resolve)
         # twice; keep the first result, but let a real success overwrite a
@@ -453,6 +469,11 @@ class UserPortal:
         if not existing.success and result.success:
             self._results[result.request_id] = result
             self._trace_result(result, synthetic)
+            self._notify_result(result)
+
+    def _notify_result(self, result: TaskResult) -> None:
+        for listener in self._result_listeners:
+            listener(result)
 
     def _trace_result(self, result: TaskResult, synthetic: bool) -> None:
         if self._tracer is not None:

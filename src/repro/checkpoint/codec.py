@@ -24,8 +24,9 @@ from repro.net.payloads import (
     ReservationGrant,
     ServiceInfo,
     TaskResult,
+    TransferPayload,
 )
-from repro.tasks.task import Environment, Task, TaskRequest, TaskState
+from repro.tasks.task import Environment, Task, TaskRequest, TaskState, WorkflowBinding
 
 __all__ = [
     "encode_endpoint",
@@ -98,8 +99,13 @@ def _lookup_application(name: str, applications: Applications):
 
 
 def encode_task_request(request: TaskRequest) -> Dict[str, Any]:
-    """``TaskRequest`` with the application referenced by name."""
-    return {
+    """``TaskRequest`` with the application referenced by name.
+
+    The ``workflow`` key appears only when the request carries a binding,
+    so independent-task snapshots stay byte-identical to pre-workflow
+    ones.
+    """
+    out = {
         "application": request.application.name,
         "environment": request.environment.value,
         "deadline": request.deadline,
@@ -107,10 +113,31 @@ def encode_task_request(request: TaskRequest) -> Dict[str, Any]:
         "email": request.email,
         "origin": request.origin,
     }
+    if request.workflow is not None:
+        binding = request.workflow
+        out["workflow"] = {
+            "workflow_id": binding.workflow_id,
+            "node": binding.node,
+            "priority": binding.priority,
+            "inputs": [list(triple) for triple in binding.inputs],
+        }
+    return out
 
 
 def decode_task_request(data: Dict[str, Any], applications: Applications) -> TaskRequest:
     """Inverse of :func:`encode_task_request`."""
+    raw_binding = data.get("workflow")
+    binding = None
+    if raw_binding is not None:
+        binding = WorkflowBinding(
+            workflow_id=int(raw_binding["workflow_id"]),
+            node=str(raw_binding["node"]),
+            priority=float(raw_binding["priority"]),
+            inputs=tuple(
+                (str(p), str(src), float(size))
+                for p, src, size in raw_binding["inputs"]
+            ),
+        )
     return TaskRequest(
         application=_lookup_application(str(data["application"]), applications),
         environment=Environment(data["environment"]),
@@ -118,6 +145,7 @@ def decode_task_request(data: Dict[str, Any], applications: Applications) -> Tas
         submit_time=float(data["submit_time"]),
         email=str(data["email"]),
         origin=str(data["origin"]),
+        workflow=binding,
     )
 
 
@@ -287,6 +315,18 @@ def _encode_payload(payload: Any) -> Dict[str, Any]:
         return {"type": "bid", "data": encode_bid_info(payload)}
     if isinstance(payload, ReservationGrant):
         return {"type": "grant", "data": encode_reservation_grant(payload)}
+    if isinstance(payload, TransferPayload):
+        return {
+            "type": "transfer",
+            "data": {
+                "workflow_id": payload.workflow_id,
+                "node": payload.node,
+                "parent": payload.parent,
+                "source": payload.source,
+                "size": payload.size,
+                "task_id": payload.task_id,
+            },
+        }
     raise CheckpointError(
         f"unencodable message payload type {type(payload).__name__!r}"
     )
@@ -312,6 +352,16 @@ def _decode_payload(data: Dict[str, Any], applications: Applications) -> Any:
         return decode_bid_info(data["data"])
     if kind == "grant":
         return decode_reservation_grant(data["data"])
+    if kind == "transfer":
+        raw = data["data"]
+        return TransferPayload(
+            workflow_id=int(raw["workflow_id"]),
+            node=str(raw["node"]),
+            parent=str(raw["parent"]),
+            source=str(raw["source"]),
+            size=float(raw["size"]),
+            task_id=int(raw["task_id"]),
+        )
     raise CheckpointError(f"unknown message payload tag {kind!r}")
 
 

@@ -149,6 +149,25 @@ def build_parser() -> argparse.ArgumentParser:
                       "reservation windows; reservations released on "
                       "confirmed death)")
 
+    exp7 = sub.add_parser(
+        "experiment7",
+        help="DAG workloads: precedence-aware vs precedence-naive "
+        "scheduling across graph shapes and arrival processes",
+    )
+    exp7.add_argument("--workflows", type=int, default=8, metavar="N",
+                      help="workflow instances per cell")
+    exp7.add_argument("--seed", type=int, default=2003)
+    exp7.add_argument("--cells", nargs="+", default=None, metavar="CELL",
+                      help="which standing cells to run (default: all; see "
+                      "repro.experiments.experiment7.CELLS)")
+    exp7.add_argument("--json", metavar="PATH",
+                      help="also write the comparison grid as JSON")
+    exp7.add_argument("--check", action="store_true",
+                      help="exit non-zero unless the workflow invariants "
+                      "hold (no task dispatched before its inputs arrived; "
+                      "every workflow resolves; aware never loses to naive "
+                      "on the deadline SLO and beats it overall)")
+
     perf = sub.add_parser(
         "perf", help="run the performance benchmark suite, write BENCH_PERF.json"
     )
@@ -598,6 +617,70 @@ def _cmd_experiment6(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_experiment7(args) -> int:
+    from dataclasses import asdict
+    import json as json_module
+
+    from repro.experiments.experiment7 import CELLS, run_experiment7
+    from repro.metrics.reporting import render_experiment7
+
+    cells = tuple(args.cells) if args.cells else CELLS
+    print(f"Running experiment 7 ({args.workflows} workflows/cell, "
+          f"seed {args.seed}, cells {list(cells)})...", file=sys.stderr)
+    result = run_experiment7(
+        workflow_count=args.workflows,
+        master_seed=args.seed,
+        cells=cells,
+        check=args.check,
+    )
+    print(render_experiment7(result))
+    if args.json:
+        payload = {
+            "workflow_count": result.workflow_count,
+            "master_seed": result.master_seed,
+            "points": [
+                {k: v for k, v in asdict(p).items() if k != "violations"}
+                for p in result.points
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if not args.check:
+        return 0
+    failures = []
+    for p in result.points:
+        for violation in p.violations:
+            failures.append(
+                f"{p.cell}/{p.mode} trace violates {violation.rule} "
+                f"at t={violation.t:.3f}: {violation.message}"
+            )
+        if not p.dag_records.get("dag.ready"):
+            failures.append(
+                f"{p.cell}/{p.mode} run produced no dag.ready records — "
+                "the precedence gates were not exercised"
+            )
+        if p.workflows_succeeded < p.workflows:
+            failures.append(
+                f"{p.cell}/{p.mode}: only {p.workflows_succeeded}/"
+                f"{p.workflows} workflows completed"
+            )
+    for regression in result.slo_regressions():
+        failures.append(f"aware lost the deadline SLO in {regression}")
+    total_aware = sum(p.deadline_met for p in result.points if p.mode == "aware")
+    total_naive = sum(p.deadline_met for p in result.points if p.mode == "naive")
+    if total_aware <= total_naive:
+        failures.append(
+            f"aware does not beat naive overall: {total_aware} vs "
+            f"{total_naive} deadlines met"
+        )
+    for failure in failures:
+        print(f"  FAIL  {failure}")
+    if not failures:
+        print("  PASS  all workflow invariants hold")
+    return 1 if failures else 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import (
         MemorySink,
@@ -946,6 +1029,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment5(args)
     elif args.command == "experiment6":
         return _cmd_experiment6(args)
+    elif args.command == "experiment7":
+        return _cmd_experiment7(args)
     elif args.command == "perf":
         from repro.perf import run_perf_cli
 

@@ -1,0 +1,387 @@
+"""Experiment 7 — precedence-aware vs precedence-naive DAG scheduling.
+
+Experiments 1–6 schedule independent tasks; Experiment 7 measures the
+workflow extension (:mod:`repro.tasks.graph`, :mod:`repro.tasks.workflow`)
+on streams of task graphs with real data movement.  Each cell replays one
+seeded workflow stream twice:
+
+``aware``
+    The precedence-aware configuration: per-node durations from the PACE
+    evaluator turn into b-level priorities and distributed per-node
+    deadlines (``D - (b_level - t_node)``), and eq.-(10) discovery gains
+    the data-gravity term (``DiscoveryConfig.data_gravity``) so routing
+    charges each candidate the staging cost of the inputs it does not
+    hold.
+
+``naive``
+    The precedence-naive baseline: every node carries priority ``0.0``
+    and the whole-graph deadline, and routing ignores data placement.
+    Precedence is still *enforced* (the gates and transfers are part of
+    the fabric, not the contender) — only the scheduling metadata is
+    blind to it.
+
+The standing cells are graph shapes × arrival processes on the §4.1
+case-study grid in ``staged`` release mode (fork-join / map-reduce /
+montage × uniform / poisson), plus one ``pipeline`` cell that runs the
+mixed stream in ``eager`` mode on agent-less single clusters — the GA
+optimising whole graphs under in-scheduler precedence constraints.
+
+Reported per (cell × mode) point: workflow completion and deadline-SLO
+rates, task counts, bytes moved across clusters (sum of ``dag.transfer``
+sizes), and the §3.3 balancing metrics (ε, υ, β).  Every run is traced;
+with ``check=True`` each trace additionally goes through
+:func:`~repro.obs.check.check_trace`, whose ``dispatch-after-inputs``
+rule proves no task started before all parent outputs arrived at its
+cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+import repro.net.message as message_module
+from repro.errors import ExperimentError
+from repro.experiments.casestudy import GridTopology, case_study_topology
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import MAX_EVENTS, GridSystem, build_grid
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    WorkflowItem,
+    generate_workflows,
+)
+from repro.metrics.balancing import compute_metrics
+from repro.metrics.records import CompletionRecord, records_from_tasks
+from repro.obs import MemorySink, Tracer, Violation, check_trace
+from repro.scheduling.scheduler import SchedulingPolicy
+from repro.sim.events import Priority
+from repro.tasks.graph import WORKFLOW_SHAPES, TaskGraph
+from repro.tasks.workflow import WorkflowCoordinator
+
+__all__ = [
+    "ARRIVALS",
+    "CELLS",
+    "MODES",
+    "Experiment7Cell",
+    "Experiment7Point",
+    "Experiment7Result",
+    "experiment7_cells",
+    "run_experiment7",
+]
+
+#: Arrival processes the standing cells sweep.
+ARRIVALS: Tuple[str, ...] = ("uniform", "poisson")
+
+#: The two contenders each cell replays.
+MODES: Tuple[str, ...] = ("aware", "naive")
+
+#: Standing cells: every shape × arrival in staged mode, plus the eager
+#: single-cluster pipeline cell.
+CELLS: Tuple[str, ...] = tuple(
+    f"{shape}-{arrival}" for shape in WORKFLOW_SHAPES for arrival in ARRIVALS
+) + ("pipeline",)
+
+#: Background-request budget per workflow — sets the stream's span (the
+#: mean workflow gap is ``_SPAN_REQUESTS / rate`` seconds), chosen so
+#: consecutive graphs overlap without drowning the grid.
+_SPAN_REQUESTS = 25
+
+#: Whole-graph deadline multiplier.  Tight enough that the naive
+#: baseline misses deadlines the aware contender makes; the separation
+#: is asserted by ``repro.cli experiment7 --check``.
+_DEADLINE_SCALE = 0.7
+
+
+@dataclass(frozen=True)
+class Experiment7Cell:
+    """One standing cell: its config, release mode, and workflow stream."""
+
+    name: str
+    shape: str  # "fork-join" | "map-reduce" | "montage" | "mixed"
+    arrival: str
+    release_mode: str  # "staged" | "eager"
+    config: ExperimentConfig
+    topology: GridTopology
+    workflows: Tuple[WorkflowItem, ...]
+
+
+def experiment7_cells(
+    *,
+    workflow_count: int = 8,
+    master_seed: int = 2003,
+    cells: Sequence[str] = CELLS,
+) -> List[Experiment7Cell]:
+    """Build the requested cells, each with one seeded workflow stream.
+
+    Every cell lives on the case-study grid; the stream is a pure
+    function of ``(cell name, workflow_count, master_seed)`` via
+    :func:`~repro.experiments.scenarios.generate_workflows`.
+    """
+    unknown = [c for c in cells if c not in CELLS]
+    if unknown:
+        raise ExperimentError(f"unknown experiment-7 cells {unknown!r}")
+    if workflow_count < 1:
+        raise ExperimentError(
+            f"workflow_count must be >= 1, got {workflow_count}"
+        )
+    topo = case_study_topology()
+    built: List[Experiment7Cell] = []
+    for name in cells:
+        if name == "pipeline":
+            shape, arrival, release_mode = "mixed", "uniform", "eager"
+        else:
+            shape, arrival = name.rsplit("-", 1)
+            release_mode = "staged"
+        spec = ScenarioSpec(
+            name=f"experiment-7-{name}",
+            agent_count=len(topo.agent_names),
+            request_count=workflow_count * _SPAN_REQUESTS,
+            arrival=arrival,
+            master_seed=master_seed,
+            deadline_scale=_DEADLINE_SCALE,
+            workflow_count=workflow_count,
+            workflow_shape=shape,
+        )
+        config = ExperimentConfig(
+            name=f"experiment-7-{name}",
+            policy=SchedulingPolicy.GA,
+            agents_enabled=(release_mode == "staged"),
+            request_count=spec.request_count,
+            master_seed=master_seed,
+        )
+        built.append(
+            Experiment7Cell(
+                name=name,
+                shape=shape,
+                arrival=arrival,
+                release_mode=release_mode,
+                config=config,
+                topology=topo,
+                workflows=tuple(generate_workflows(spec, topo)),
+            )
+        )
+    return built
+
+
+@dataclass(frozen=True)
+class Experiment7Point:
+    """One (cell × mode) entry of the comparison."""
+
+    cell: str
+    mode: str  # "aware" | "naive"
+    workflows: int
+    workflows_succeeded: int
+    deadline_met: int
+    tasks_submitted: int
+    tasks_succeeded: int
+    bytes_moved: float
+    epsilon: float
+    upsilon_percent: float
+    beta_percent: float
+    wall_seconds: float
+    dag_records: Dict[str, int]
+    violations: Tuple[Violation, ...] = ()
+
+    @property
+    def completion_rate(self) -> float:
+        """Workflows with every node succeeded / workflows started."""
+        return self.workflows_succeeded / self.workflows if self.workflows else 0.0
+
+    @property
+    def slo_rate(self) -> float:
+        """Workflows completing by their whole-graph deadline / started."""
+        return self.deadline_met / self.workflows if self.workflows else 0.0
+
+
+@dataclass
+class Experiment7Result:
+    """The full comparison: one point per (cell × mode)."""
+
+    workflow_count: int
+    master_seed: int
+    points: List[Experiment7Point]
+
+    def point(self, cell: str, mode: str) -> Experiment7Point:
+        """The point at exactly (*cell*, *mode*)."""
+        for p in self.points:
+            if p.cell == cell and p.mode == mode:
+                return p
+        raise ExperimentError(f"no point at cell={cell!r}, mode={mode!r}")
+
+    def slo_regressions(self) -> List[str]:
+        """Cells where the aware contender loses to naive on deadline SLO."""
+        out = []
+        for cell in sorted({p.cell for p in self.points}):
+            aware, naive = self.point(cell, "aware"), self.point(cell, "naive")
+            if aware.deadline_met < naive.deadline_met:
+                out.append(
+                    f"{cell}: aware met {aware.deadline_met} deadlines vs "
+                    f"naive {naive.deadline_met}"
+                )
+        return out
+
+    def violations(self) -> List[Violation]:
+        """Every checker violation across every traced point."""
+        return [v for p in self.points for v in p.violations]
+
+
+def _node_durations(
+    system: GridSystem, graph: TaskGraph, agent_name: str
+) -> Dict[str, float]:
+    """Estimated seconds per node, measured on the entry agent's hardware.
+
+    The portable estimate the coordinator's b-levels need: PACE's best
+    predicted time on the cluster the graph enters at.  Where a node is
+    later routed elsewhere the estimate is off by that platform's speed
+    ratio — an estimate, exactly like the paper's prediction data.
+    """
+    platform = system.topology.platform(agent_name)
+    nproc = system.topology.nproc[agent_name]
+    return {
+        node: system.evaluator.best_count(
+            system.specs[graph.application(node)].model, platform, nproc
+        )[1]
+        for node in graph.node_names
+    }
+
+
+def _run_cell_mode(
+    cell: Experiment7Cell, mode: str, *, check: bool = False
+) -> Experiment7Point:
+    """Replay *cell*'s workflow stream under one contender, traced."""
+    t_wall = time.perf_counter()
+    config = replace(cell.config, name=f"{cell.config.name}-{mode}")
+    if mode == "aware" and cell.release_mode == "staged":
+        config = replace(
+            config, discovery=replace(config.discovery, data_gravity=True)
+        )
+    message_module.set_message_counter(0)
+    tracer = Tracer(MemorySink())
+    system = build_grid(config, cell.topology, tracer=tracer)
+    coordinator = WorkflowCoordinator(
+        system.portal,
+        {name: spec.model for name, spec in system.specs.items()},
+        tracer=tracer,
+    )
+    system.start()
+    started: List[Tuple[WorkflowItem, int]] = []
+
+    def _starter(item: WorkflowItem):
+        def start() -> None:
+            graph = item.graph()
+            durations = (
+                _node_durations(system, graph, item.agent_name)
+                if mode == "aware"
+                else None
+            )
+            workflow_id = coordinator.start_workflow(
+                graph,
+                system.agents[item.agent_name],
+                item.deadline,
+                mode=cell.release_mode,
+                durations=durations,
+            )
+            started.append((item, workflow_id))
+
+        return start
+
+    for item in cell.workflows:
+        system.sim.schedule(
+            item.submit_time,
+            _starter(item),
+            priority=Priority.ARRIVAL,
+            label=f"workflow-{item.shape}",
+            lane=item.agent_name,
+        )
+    steps = 0
+    while (
+        len(started) < len(cell.workflows)
+        or system.portal.pending_count > 0
+        or not coordinator.all_resolved
+    ):
+        if not system.sim.step():
+            raise ExperimentError(
+                f"experiment-7 {cell.name}/{mode}: event queue drained with "
+                f"{system.portal.pending_count} requests pending"
+            )
+        steps += 1
+        if steps > MAX_EVENTS:
+            raise ExperimentError(f"experiment exceeded {MAX_EVENTS} events")
+    system.stop()
+
+    deadline_met = 0
+    for item, workflow_id in started:
+        completion = coordinator.run(workflow_id).completion_time(
+            system.portal.results
+        )
+        if completion is not None and completion <= item.deadline:
+            deadline_met += 1
+    runs = coordinator.runs.values()
+    records: List[CompletionRecord] = []
+    busy = {}
+    nodes = {}
+    for name, scheduler in system.schedulers.items():
+        records.extend(records_from_tasks(scheduler.executor.completed_tasks))
+        busy[name] = scheduler.executor.busy_intervals
+        nodes[name] = scheduler.resource.size
+    metrics = compute_metrics(records, busy, nodes)
+    bytes_moved = 0.0
+    dag_records: Dict[str, int] = {}
+    for record in tracer.records:
+        if record.kind.startswith("dag."):
+            dag_records[record.kind] = dag_records.get(record.kind, 0) + 1
+            if record.kind == "dag.transfer":
+                bytes_moved += record.size
+    violations: Tuple[Violation, ...] = ()
+    if check:
+        violations = tuple(check_trace(tracer.records))
+    return Experiment7Point(
+        cell=cell.name,
+        mode=mode,
+        workflows=len(started),
+        workflows_succeeded=sum(1 for run in runs if run.succeeded),
+        deadline_met=deadline_met,
+        tasks_submitted=sum(len(run.released) for run in runs),
+        tasks_succeeded=sum(len(run.sources) for run in runs),
+        bytes_moved=bytes_moved,
+        epsilon=metrics.total.epsilon,
+        upsilon_percent=metrics.total.upsilon_percent,
+        beta_percent=metrics.total.beta_percent,
+        wall_seconds=time.perf_counter() - t_wall,
+        dag_records=dag_records,
+        violations=violations,
+    )
+
+
+def run_experiment7(
+    *,
+    workflow_count: int = 8,
+    master_seed: int = 2003,
+    cells: Sequence[str] = CELLS,
+    modes: Sequence[str] = MODES,
+    check: bool = False,
+) -> Experiment7Result:
+    """Run the comparison: both contenders through every requested cell.
+
+    Within a cell both modes replay the identical workflow stream, so
+    every difference is attributable to the precedence metadata (and, in
+    staged cells, data gravity) alone.  With ``check=True`` every traced
+    run also goes through :func:`~repro.obs.check.check_trace` and the
+    violations land on the points.
+    """
+    unknown = [m for m in modes if m not in MODES]
+    if unknown:
+        raise ExperimentError(f"unknown experiment-7 modes {unknown!r}")
+    built = experiment7_cells(
+        workflow_count=workflow_count, master_seed=master_seed, cells=cells
+    )
+    points: List[Experiment7Point] = []
+    for cell in built:
+        for mode in modes:
+            points.append(_run_cell_mode(cell, mode, check=check))
+    return Experiment7Result(
+        workflow_count=workflow_count,
+        master_seed=master_seed,
+        points=points,
+    )

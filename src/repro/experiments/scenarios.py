@@ -44,6 +44,13 @@ from repro.net.faults import ChurnSpec, FaultPlanSpec, StragglerFault
 from repro.pace.hardware import DEFAULT_CATALOGUE
 from repro.pace.workloads import paper_application_specs
 from repro.scheduling.scheduler import SchedulingPolicy
+from repro.tasks.graph import (
+    WORKFLOW_SHAPES,
+    TaskGraph,
+    fork_join,
+    map_reduce,
+    montage,
+)
 from repro.utils.rng import RngRegistry
 
 __all__ = [
@@ -53,10 +60,13 @@ __all__ = [
     "MAX_AGENTS",
     "Scenario",
     "ScenarioSpec",
+    "WorkflowItem",
     "generate_scenario",
     "generate_topology",
     "generate_arrival_times",
+    "generate_workflows",
     "scenario_fingerprint",
+    "workflow_graph",
 ]
 
 #: Supported arrival processes (see the module table).
@@ -83,6 +93,14 @@ CHAOS_CHURN_DOWNTIME = 1e9
 
 #: Ceiling on generated grid size — the ROADMAP's 100× target with slack.
 MAX_AGENTS = 5000
+
+#: Stage depth per workflow shape — the number of sequential graph levels,
+#: used to scale a whole-graph deadline from the per-task Table 1 domains.
+_SHAPE_DEPTH: Mapping[str, int] = {
+    "fork-join": 3,
+    "map-reduce": 4,
+    "montage": 5,
+}
 
 #: The case study's hardware proportions (Fig. 7: 2/2/3/3/2 agents across
 #: the PACE platform table) as sampling weights — the default mix keeps
@@ -156,6 +174,13 @@ class ScenarioSpec:
     deadline_scale: float = 1.0
     master_seed: int = 2003
     chaos: str = "none"
+    # Workflow family (Experiment 7).  ``workflow_count=0`` (the default)
+    # generates no workflows and leaves the scenario — including its
+    # fingerprint — byte-identical to the pre-workflow generator.
+    workflow_count: int = 0
+    workflow_shape: str = "mixed"  # one of WORKFLOW_SHAPES or "mixed"
+    workflow_width: int = 4
+    workflow_output_size: float = 4.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -203,6 +228,17 @@ class ScenarioSpec:
             raise ExperimentError(
                 f"unknown chaos preset {self.chaos!r} (choose from {CHAOS_PRESETS})"
             )
+        if self.workflow_count < 0:
+            raise ExperimentError("workflow_count must be >= 0")
+        if self.workflow_shape not in WORKFLOW_SHAPES + ("mixed",):
+            raise ExperimentError(
+                f"unknown workflow shape {self.workflow_shape!r} "
+                f"(choose from {WORKFLOW_SHAPES + ('mixed',)})"
+            )
+        if self.workflow_width < 2:
+            raise ExperimentError("workflow_width must be >= 2")
+        if self.workflow_output_size < 0:
+            raise ExperimentError("workflow_output_size must be >= 0")
 
     def straggler_names(self) -> Tuple[str, ...]:
         """The agents the chaos presets turn grey — a pure spec function.
@@ -292,12 +328,58 @@ class ScenarioSpec:
 
 
 @dataclass(frozen=True)
+class WorkflowItem:
+    """One workflow instance of the stream: when, where, and what shape."""
+
+    submit_time: float
+    agent_name: str
+    shape: str
+    width: int
+    output_size: float
+    deadline: float  # absolute deadline of the whole graph
+
+    def __post_init__(self) -> None:
+        if self.shape not in WORKFLOW_SHAPES:
+            raise ExperimentError(f"unknown workflow shape {self.shape!r}")
+        if self.deadline <= self.submit_time:
+            raise ExperimentError(
+                f"deadline {self.deadline} not after submit {self.submit_time}"
+            )
+
+    def graph(self) -> TaskGraph:
+        """The task graph this item instantiates (pure, see :func:`workflow_graph`)."""
+        return workflow_graph(self.shape, self.width, self.output_size)
+
+
+def workflow_graph(shape: str, width: int, output_size: float) -> TaskGraph:
+    """Instantiate one workflow-family graph over the paper's applications.
+
+    A pure function of its arguments — node/application assignment comes
+    from cycling the Table 1 application list in node order, so the same
+    ``(shape, width, output_size)`` always yields an identical graph.
+    """
+    apps = list(paper_application_specs())
+    if shape == "fork-join":
+        return fork_join(apps, width=width, output_size=output_size)
+    if shape == "map-reduce":
+        reducers = max(1, width // 2)
+        return map_reduce(
+            apps, mappers=width, reducers=reducers, output_size=output_size
+        )
+    if shape == "montage":
+        return montage(apps, width=width, output_size=output_size)
+    raise ExperimentError(f"unknown workflow shape {shape!r}")
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One generated scenario: its spec, the grid, and the request stream."""
 
     spec: ScenarioSpec
     topology: GridTopology
     workload: Tuple[WorkloadItem, ...]
+    #: The workflow stream — empty unless ``spec.workflow_count > 0``.
+    workflows: Tuple[WorkflowItem, ...] = ()
 
     @property
     def horizon(self) -> float:
@@ -412,6 +494,56 @@ def generate_arrival_times(spec: ScenarioSpec) -> List[float]:
     return times
 
 
+def generate_workflows(
+    spec: ScenarioSpec, topology: GridTopology
+) -> List[WorkflowItem]:
+    """The spec's workflow stream (empty when ``workflow_count`` is 0).
+
+    Drawn entirely from the ``scenario-workflows`` stream — the
+    independent-task workload streams are untouched, so adding workflows
+    to a spec never reshuffles its background requests.  Arrivals follow
+    the spec's arrival process in expectation (exponential gaps spanning
+    the request phase); shapes cycle (``"mixed"``) or repeat; entry
+    agents are drawn uniformly; the whole-graph deadline scales the mean
+    Table 1 per-task domain by the shape's stage depth.
+    """
+    if spec.workflow_count == 0:
+        return []
+    rng = RngRegistry(spec.master_seed).stream("scenario-workflows")
+    specs = paper_application_specs()
+    low = sum(s.deadline_bounds[0] for s in specs.values()) / len(specs)
+    high = sum(s.deadline_bounds[1] for s in specs.values()) / len(specs)
+    names = list(topology.agent_names)
+    span = spec.request_count / spec.rate
+    mean_gap = span / spec.workflow_count
+    items: List[WorkflowItem] = []
+    t = 0.0
+    for i in range(spec.workflow_count):
+        if spec.arrival == "uniform":
+            t = (i + 1) * mean_gap
+        else:
+            t += float(rng.exponential(mean_gap))
+        shape = (
+            WORKFLOW_SHAPES[i % len(WORKFLOW_SHAPES)]
+            if spec.workflow_shape == "mixed"
+            else spec.workflow_shape
+        )
+        agent = names[int(rng.integers(len(names)))]
+        depth = _SHAPE_DEPTH[shape]
+        offset = depth * float(rng.uniform(low, high)) * spec.deadline_scale
+        items.append(
+            WorkflowItem(
+                submit_time=t,
+                agent_name=agent,
+                shape=shape,
+                width=spec.workflow_width,
+                output_size=spec.workflow_output_size,
+                deadline=t + offset,
+            )
+        )
+    return items
+
+
 def generate_scenario(spec: ScenarioSpec) -> Scenario:
     """Generate the full scenario for *spec* — topology plus workload.
 
@@ -440,7 +572,12 @@ def generate_scenario(spec: ScenarioSpec) -> Scenario:
                 deadline=t + offset,
             )
         )
-    return Scenario(spec=spec, topology=topology, workload=tuple(items))
+    return Scenario(
+        spec=spec,
+        topology=topology,
+        workload=tuple(items),
+        workflows=tuple(generate_workflows(spec, topology)),
+    )
 
 
 def scenario_fingerprint(scenario: Scenario) -> str:
@@ -466,5 +603,12 @@ def scenario_fingerprint(scenario: Scenario) -> str:
     # every pre-chaos fingerprint stable.
     if scenario.spec.chaos != "none":
         body["chaos"] = scenario.spec.chaos
+    # Same pattern as the chaos key: the workflow stream joins the
+    # identity only when present, keeping pre-workflow fingerprints stable.
+    if scenario.workflows:
+        body["workflows"] = [
+            [w.submit_time, w.agent_name, w.shape, w.width, w.output_size, w.deadline]
+            for w in scenario.workflows
+        ]
     canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

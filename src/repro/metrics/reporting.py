@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - layering: metrics never imports
     from repro.experiments.experiment4 import Experiment4Result
     from repro.experiments.experiment5 import Experiment5Result
     from repro.experiments.experiment6 import Experiment6Result
+    from repro.experiments.experiment7 import Experiment7Result
 
 __all__ = [
     "table3_rows",
@@ -27,6 +28,7 @@ __all__ = [
     "render_experiment4",
     "render_experiment5",
     "render_experiment6",
+    "render_experiment7",
 ]
 
 
@@ -206,6 +208,39 @@ def render_experiment6(
                 round(p.beta_percent) if p.beta_percent == p.beta_percent else None,
                 f"{p.wall_seconds:.2f}",
             ])
+    return render_table(headers, data, title=title)
+
+
+def render_experiment7(
+    result: "Experiment7Result",
+    *,
+    title: str = "Experiment 7: precedence-aware vs naive DAG scheduling",
+) -> str:
+    """Monospace rendering of the workflow comparison.
+
+    Rows grouped by cell, aware above naive, pairing the workflow SLO
+    with the data-movement bill and the balancing metrics.
+    """
+    if not result.points:
+        raise ValidationError("experiment-7 result has no points")
+    headers = [
+        "cell", "mode", "workflows", "met deadline", "tasks",
+        "bytes moved", "ε (s)", "υ (%)", "β (%)", "wall (s)",
+    ]
+    data: List[List[object]] = []
+    for p in result.points:
+        data.append([
+            p.cell,
+            p.mode,
+            f"{p.workflows_succeeded}/{p.workflows} ({p.completion_rate:.0%})",
+            f"{p.deadline_met}/{p.workflows} ({p.slo_rate:.0%})",
+            f"{p.tasks_succeeded}/{p.tasks_submitted}",
+            round(p.bytes_moved, 1),
+            round(p.epsilon) if p.epsilon == p.epsilon else None,
+            round(p.upsilon_percent) if p.upsilon_percent == p.upsilon_percent else None,
+            round(p.beta_percent) if p.beta_percent == p.beta_percent else None,
+            f"{p.wall_seconds:.2f}",
+        ])
     return render_table(headers, data, title=title)
 
 

@@ -26,8 +26,9 @@ __all__ = [
 
 # Process-wide message-id source.  A plain int (not itertools.count) so a
 # checkpoint can capture and restore it: post-resume sends must mint the
-# same ids as the uninterrupted run, or event labels like
-# ``deliver-request-123`` diverge and break trace byte-identity.
+# same ids as the uninterrupted run, or the transport's in-flight table —
+# keyed and snapshot-ordered by message id — diverges between a resumed
+# and an uninterrupted run.
 _next_message_id = 0
 
 
@@ -86,6 +87,7 @@ class MessageKind(enum.Enum):
     CONFIRM = "confirm"      # reservation granted (carries the booked window)
     REJECT = "reject"        # reservation declined (no feasible window)
     RELEASE = "release"      # booker relinquishes a previously granted window
+    TRANSFER = "transfer"    # staged-in workflow input arriving at a cluster
 
 
 @dataclass(frozen=True, slots=True)

@@ -25,6 +25,7 @@ __all__ = [
     "KinInfo",
     "BidInfo",
     "ReservationGrant",
+    "TransferPayload",
 ]
 
 
@@ -166,6 +167,25 @@ class ReservationGrant:
     request_id: int
     start: float
     end: float
+
+
+@dataclass(frozen=True)
+class TransferPayload:
+    """One workflow input staging in: a parent's output moving to a cluster.
+
+    The consuming agent sends this to **itself** through the transport
+    with the serialisation delay (``size / bandwidth``) as extra latency,
+    so data movement rides the same delivery, fault, and checkpoint
+    machinery as every protocol message.  On arrival the input is marked
+    present for the gated local task ``task_id``.
+    """
+
+    workflow_id: int
+    node: str      # the consuming (child) node's name
+    parent: str    # the producing node's name
+    source: str    # resource name the output is pulled from
+    size: float    # data units moved
+    task_id: int   # the local task id awaiting this input
 
 
 @dataclass(frozen=True)

@@ -14,11 +14,12 @@ single-threaded message loop.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.net.faults import FaultPlan
-from repro.net.message import Endpoint, Message
+from repro.net.message import Endpoint, Message, MessageKind
 from repro.obs.records import MessageDelivered, MessageDropped, MessageSent
 from repro.obs.trace import Tracer
 from repro.sim.engine import Engine
@@ -33,6 +34,16 @@ Handler = Callable[[Message], None]
 #: are *counted* without bound; only the message objects are ring-buffered
 #: (a long churny run used to accumulate every dropped Message forever).
 DEFAULT_DROP_RING_SIZE = 32
+
+# One interned delivery label per message kind.  Labels used to embed the
+# message id (``deliver-request-123``), minting a fresh string per send —
+# measurable churn at scaled-grid message volumes (see ``bench_alloc``).
+# The id adds nothing: delivery events already close over their Message,
+# and the labels are observational only (``sim.event`` records are
+# non-canonical, so the format is free to change).
+_DELIVER_LABELS: Dict[MessageKind, str] = {
+    kind: f"deliver-{kind.value}" for kind in MessageKind
+}
 
 
 class Transport:
@@ -177,14 +188,25 @@ class Transport:
 
     # ------------------------------------------------------------------- send
 
-    def send(self, message: Message) -> None:
+    def send(self, message: Message, *, extra_latency: float = 0.0) -> None:
         """Queue *message* for delivery after the transport latency.
+
+        Parameters
+        ----------
+        message:
+            The message to deliver.
+        extra_latency:
+            Additional seconds on top of the base transport latency for
+            this one message — the serialisation delay of a bulk payload
+            (workflow data staging charges ``size / bandwidth`` here).
+            Fault-plan jitter stacks on top.
 
         Raises
         ------
         TransportError
             If the recipient endpoint is not registered at send time.
         """
+        check_non_negative(extra_latency, "extra_latency")
         if message.recipient not in self._handlers:
             raise TransportError(
                 f"no endpoint registered at {message.recipient} "
@@ -201,7 +223,6 @@ class Transport:
                     hops=message.hops,
                 )
             )
-        extra_latency = 0.0
         if self._fault_plan is not None:
             verdict = self._fault_plan.on_send(message, self._sim.now)
             if verdict.drop:
@@ -212,12 +233,12 @@ class Transport:
                 if self._tracer is not None:
                     self._tracer.emit(self._drop_record(message, verdict.reason))
                 return
-            extra_latency = verdict.extra_latency
+            extra_latency += verdict.extra_latency
         handle = self._sim.schedule_in(
             self._latency + extra_latency,
-            lambda: self._deliver(message),
+            partial(self._deliver, message),
             priority=Priority.DEFAULT,
-            label=f"deliver-{message.kind.value}-{message.message_id}",
+            label=_DELIVER_LABELS[message.kind],
             lane=self._delivery_lane(message),
         )
         self._in_flight[message.message_id] = (message, handle)

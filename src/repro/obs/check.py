@@ -44,6 +44,13 @@ trace (DESIGN.md "Trace determinism" section):
     When membership confirms a peer dead (``member.dead``), every
     window the survivor holds for that booker is eventually released —
     a dead booker's slots must not pin capacity forever.
+``dispatch-after-inputs``
+    A workflow task is never dispatched before all of its parent
+    outputs arrived at its cluster: every dispatched workflow task must
+    have a prior ``dag.ready`` on its resource, its start must not
+    precede the last ``dag.transfer`` arrival for its node, no input
+    may arrive after the task was declared ready, and each workflow
+    task is declared ready exactly once.
 
 Violations are returned, not raised, so tests can assert emptiness and
 the CLI can render every problem at once.
@@ -60,6 +67,9 @@ from repro.obs.records import (
     AgentUp,
     AuctionOpened,
     AuctionSettled,
+    DagReady,
+    DagRelease,
+    DagTransfer,
     DiscoveryEvaluated,
     EvolveStep,
     MemberAlive,
@@ -114,6 +124,16 @@ def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
     open_bookings: Dict[str, Dict[int, Tuple[int, str, float, float]]] = {}
     # (agent, request_id) -> index of the member.dead that orphaned it
     death_releases_due: Dict[Tuple[str, int], int] = {}
+    # request ids released as workflow nodes (dag.release)
+    workflow_requests: set = set()
+    # (resource, task_id) -> (t, workflow, node) of its dag.ready
+    ready_by_task: Dict[Tuple[str, int], Tuple[float, int, str]] = {}
+    # (workflow, node) -> index of its dag.ready
+    ready_by_node: Dict[Tuple[int, str], int] = {}
+    # (workflow, node) -> t of the latest dag.transfer arrival
+    last_transfer: Dict[Tuple[int, str], float] = {}
+    # dispatches with no prior dag.ready, joined post-pass via agent.local
+    unready_dispatches: List[Tuple[int, TaskDispatched]] = []
 
     def flag(rule: str, record: TraceRecord, index: int, message: str) -> None:
         violations.append(Violation(rule, record.t, index, message))
@@ -150,6 +170,49 @@ def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
                     f"{record.start}, before the dispatch decision at "
                     f"{record.t}",
                 )
+            ready = ready_by_task.get(key)
+            if ready is None:
+                unready_dispatches.append((index, record))
+            else:
+                _, workflow, node = ready
+                arrived = last_transfer.get((workflow, node))
+                if arrived is not None and record.start < arrived - _EPS:
+                    flag(
+                        "dispatch-after-inputs", record, index,
+                        f"task {record.task_id} ({node} of workflow "
+                        f"{workflow}) on {record.resource} starts at "
+                        f"{record.start} before its last input arrived at "
+                        f"{arrived}",
+                    )
+        elif isinstance(record, DagRelease):
+            workflow_requests.add(record.request_id)
+        elif isinstance(record, DagTransfer):
+            node_key = (record.workflow, record.node)
+            if node_key in ready_by_node:
+                flag(
+                    "dispatch-after-inputs", record, index,
+                    f"input for {record.node} of workflow {record.workflow} "
+                    f"arrived at {record.agent} after the task was declared "
+                    f"ready at record #{ready_by_node[node_key]}",
+                )
+            prior = last_transfer.get(node_key)
+            last_transfer[node_key] = (
+                record.t if prior is None else max(prior, record.t)
+            )
+        elif isinstance(record, DagReady):
+            node_key = (record.workflow, record.node)
+            if node_key in ready_by_node:
+                flag(
+                    "dispatch-after-inputs", record, index,
+                    f"{record.node} of workflow {record.workflow} declared "
+                    f"ready twice (first at record "
+                    f"#{ready_by_node[node_key]})",
+                )
+            else:
+                ready_by_node[node_key] = index
+            ready_by_task[(record.resource, record.task_id)] = (
+                record.t, record.workflow, record.node,
+            )
         elif isinstance(record, TaskCompleted):
             completed_requests[(record.resource, record.task_id)] = True
         elif isinstance(record, AgentDown):
@@ -258,6 +321,18 @@ def check_trace(records: Sequence[TraceRecord]) -> List[Violation]:
         request_id = local_by_task.get(key)
         if request_id is not None:
             completed_ids.add(request_id)
+
+    for index, dispatch in unready_dispatches:
+        request_id = local_by_task.get((dispatch.resource, dispatch.task_id))
+        if request_id in workflow_requests:
+            violations.append(
+                Violation(
+                    "dispatch-after-inputs", dispatch.t, index,
+                    f"workflow task {dispatch.task_id} (request "
+                    f"{request_id}) dispatched on {dispatch.resource} "
+                    "without a prior dag.ready record",
+                )
+            )
 
     for request_id, (ack_index, agent) in sorted(last_ack.items()):
         if request_id in resulted_requests or request_id in completed_ids:

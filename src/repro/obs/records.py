@@ -37,6 +37,9 @@ kind                emitted by
 ``sched.cost``      eq. (8) components of the dispatched best solution
 ``sched.complete``  a task completing execution
 ``ga.evolve``       one ``GAScheduler.evolve`` call (per-gen best costs)
+``dag.release``     a workflow node released to the grid (parents done)
+``dag.transfer``    one staged-in parent output arriving at a cluster
+``dag.ready``       a gated task's inputs all present — dispatchable
 ==================  ====================================================
 
 :data:`CANONICAL_FIELDS` is the golden-trace normaliser: for each kind it
@@ -83,6 +86,9 @@ __all__ = [
     "CostComponents",
     "TaskCompleted",
     "EvolveStep",
+    "DagRelease",
+    "DagTransfer",
+    "DagReady",
     "CANONICAL_FIELDS",
     "record_to_dict",
     "canonical_dict",
@@ -503,6 +509,56 @@ class EvolveStep(TraceRecord):
     kernel: str = ""
 
 
+# ------------------------------------------------------------ workflow layer
+
+
+@dataclass(frozen=True)
+class DagRelease(TraceRecord):
+    """A workflow node released to the grid (every parent completed)."""
+
+    kind: ClassVar[str] = "dag.release"
+
+    workflow: int
+    node: str
+    request_id: int
+
+
+@dataclass(frozen=True)
+class DagTransfer(TraceRecord):
+    """One staged-in parent output finishing its move to a cluster.
+
+    Emitted when the TRANSFER message delivering ``size`` units of
+    ``node``'s output from ``source`` lands at ``agent``'s cluster — the
+    moment the input becomes locally available.
+    """
+
+    kind: ClassVar[str] = "dag.transfer"
+
+    agent: str
+    workflow: int
+    node: str
+    source: str
+    size: float
+
+
+@dataclass(frozen=True)
+class DagReady(TraceRecord):
+    """A gated task's inputs are all present — it may now dispatch.
+
+    Ungated tasks (independent tasks, workflow roots, nodes whose inputs
+    were already local at submit) emit this immediately on submit, so
+    every workflow task has exactly one ``dag.ready`` and the checker can
+    require it to precede the dispatch.
+    """
+
+    kind: ClassVar[str] = "dag.ready"
+
+    resource: str
+    task_id: int
+    workflow: int
+    node: str
+
+
 # ------------------------------------------------------------- serialisation
 
 #: The golden-trace normaliser: kind → the decision fields kept in the
@@ -540,6 +596,9 @@ CANONICAL_FIELDS: Mapping[str, Tuple[str, ...]] = {
     "sched.cost": ("resource", "omega", "phi", "theta", "combined"),
     "sched.complete": ("resource", "task_id", "completion"),
     "ga.evolve": ("resource", "n_tasks", "generations", "best_cost"),
+    "dag.release": ("workflow", "node", "request_id"),
+    "dag.transfer": ("agent", "workflow", "node", "source", "size"),
+    "dag.ready": ("resource", "task_id", "workflow", "node"),
 }
 
 

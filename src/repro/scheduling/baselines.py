@@ -47,6 +47,9 @@ class StaticPlacement(Protocol):
     def placement(self, task_id: int) -> Allocation:
         """The allocation previously booked for *task_id*."""
 
+    def forget(self, task_id: int) -> None:
+        """Drop a cancelled task's placement (bookings stay reserved)."""
+
 
 class _BookingBase:
     """Shared booking state for the fixed-placement baselines."""
@@ -87,6 +90,16 @@ class _BookingBase:
                 f"expected {self._free.size} node times, got {actual.size}"
             )
         self._free = np.maximum(self._free, actual)
+
+    def forget(self, task_id: int) -> None:
+        """Drop a cancelled task's placement.
+
+        The node bookings it made are left in place — later placements
+        may already have been stacked on top of them, so releasing the
+        window would double-book.  The hole is the price of cancelling
+        under a fixed-placement policy.
+        """
+        self._placements.pop(task_id, None)
 
     def snapshot_state(self) -> dict:
         """Booked free times and fixed placements (checkpoint support)."""

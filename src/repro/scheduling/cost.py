@@ -98,15 +98,20 @@ def exponential_idle_weight(start: float, end: float, horizon: float) -> float:
     if horizon <= 0:
         return 0.0
     rate = 3.0 / horizon
-    a, b = max(start, 0.0), max(end, 0.0)
+    a = min(max(start, 0.0), horizon)
+    b = min(max(end, 0.0), horizon)
     if b <= a:
         return 0.0
     return (math.exp(-rate * a) - math.exp(-rate * b)) / rate
 
 
 def uniform_idle_weight(start: float, end: float, horizon: float) -> float:
-    """Unweighted idle seconds (ablation variant: no front-loading)."""
-    return max(end - start, 0.0)
+    """Unweighted idle seconds within ``[0, horizon]`` (no front-loading)."""
+    if horizon <= 0:
+        return 0.0
+    a = min(max(start, 0.0), horizon)
+    b = min(max(end, 0.0), horizon)
+    return max(b - a, 0.0)
 
 
 #: Named idle weighters for configuration and the idle-weighting ablation.

@@ -162,6 +162,16 @@ class FIFOScheduler:
         except KeyError:
             raise ScheduleError(f"no placement booked for task {task_id}") from None
 
+    def forget(self, task_id: int) -> None:
+        """Drop a placement whose task was cancelled before launching.
+
+        The booked node times are deliberately left as they are — the
+        conservative choice shared with the other static policies: a
+        too-late booking only delays later placements, never breaks them,
+        and FIFO bookings are monotonic (see :meth:`sync_availability`).
+        """
+        self._placements.pop(task_id, None)
+
     def sync_availability(self, node_free_times: Sequence[float]) -> None:
         """Raise bookings to at least the executor's actual availability.
 

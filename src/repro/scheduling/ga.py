@@ -210,6 +210,17 @@ class GAScheduler:
         self._row_of: Dict[int, int] = {}
         self._dtable = np.empty((0, self._n), dtype=float)
         self._deadline_arr = np.empty(0, dtype=float)
+        # Workflow extensions, all inert at their defaults: b-level
+        # priorities (0.0 everywhere = no effect), start-time floors
+        # (absent = unconstrained), and precedence predecessors (absent =
+        # independent tasks).  ``_constraint_cache`` holds the row-keyed
+        # (pred matrix, floor vector) pair derived lazily from these.
+        self._priority_arr = np.empty(0, dtype=float)
+        self._floor: Dict[int, float] = {}
+        self._preds: Dict[int, Tuple[int, ...]] = {}
+        self._constraint_cache: Optional[
+            Tuple[Optional[np.ndarray], Optional[np.ndarray]]
+        ] = None
         # Packed population; allocated lazily when the first task arrives.
         self._order: Optional[np.ndarray] = None  # (P, m) int rows
         self._masks: Optional[np.ndarray] = None  # (P, m, n) bool by row
@@ -368,7 +379,15 @@ class GAScheduler:
                 masks[i] = row
         return masks
 
-    def add_task(self, task_id: int, deadline: float) -> None:
+    def add_task(
+        self,
+        task_id: int,
+        deadline: float,
+        *,
+        priority: float = 0.0,
+        floor: Optional[float] = None,
+        predecessors: Sequence[int] = (),
+    ) -> None:
         """Add a task to the optimisation set, splicing it into the population.
 
         Existing individuals keep their orderings/mappings; the new task is
@@ -376,6 +395,14 @@ class GAScheduler:
         greedy candidate — the rest at random positions) with the seeded
         masks of :meth:`_seed_masks`, so the population "absorbs" the
         change rather than restarting.
+
+        The keyword extensions carry workflow structure and are inert at
+        their defaults: *priority* (a b-level) biases the warm-start
+        orderings, *floor* is an absolute earliest start time (data still
+        staging in, or a dispatched parent's booked completion), and
+        *predecessors* lists co-queued task ids that must precede this one
+        in every individual's ordering (enforced by stable topological
+        repair and respected by the evaluator).
         """
         if task_id in self._row_of:
             raise ScheduleError(f"task {task_id} already in optimisation set")
@@ -386,6 +413,12 @@ class GAScheduler:
         durations = self._duration_row(task_id)
         self._dtable = np.vstack([self._dtable, durations])
         self._deadline_arr = np.append(self._deadline_arr, float(deadline))
+        self._priority_arr = np.append(self._priority_arr, float(priority))
+        if floor is not None:
+            self._floor[task_id] = float(floor)
+        if predecessors:
+            self._preds[task_id] = tuple(int(p) for p in predecessors)
+        self._constraint_cache = None
         pop = self._config.population_size
         if self._order is None:
             self._order = np.zeros((pop, 1), dtype=np.int64)
@@ -399,6 +432,23 @@ class GAScheduler:
         self._masks = np.concatenate(
             [self._masks, self._seed_masks(durations, p)[:, None, :]], axis=1
         )
+        self._repair_orders(self._order)
+
+    def set_floor(self, task_id: int, floor: float) -> None:
+        """Raise *task_id*'s earliest-start floor (monotonic: ``max`` wins).
+
+        The scheduler calls this when a predecessor leaves the optimisation
+        set for the executor — the precedence constraint collapses to "not
+        before the parent's booked completion" — and when a staging input's
+        arrival estimate moves.
+        """
+        self._require_row(task_id)
+        current = self._floor.get(task_id)
+        if current is not None and current >= floor:
+            return
+        self._floor[task_id] = float(floor)
+        self._constraint_cache = None
+        self._invalidate_cost_cache()
 
     def remove_task(self, task_id: int) -> None:
         """Remove a task (it started executing, finished, or was cancelled).
@@ -414,6 +464,9 @@ class GAScheduler:
         row = self._require_row(task_id)
         self._invalidate_cost_cache()
         del self._row_of[task_id]
+        self._floor.pop(task_id, None)
+        self._preds.pop(task_id, None)
+        self._constraint_cache = None
         last = len(self._id_order) - 1
         moved_id = self._id_order[last]
         self._id_order[row] = moved_id
@@ -424,14 +477,19 @@ class GAScheduler:
             self._masks = None
             self._dtable = np.empty((0, self._n), dtype=float)
             self._deadline_arr = np.empty(0, dtype=float)
+            self._priority_arr = np.empty(0, dtype=float)
+            self._floor.clear()
+            self._preds.clear()
             return
         if row != last:
             self._row_of[moved_id] = row
             self._dtable[row] = self._dtable[last]
             self._deadline_arr[row] = self._deadline_arr[last]
+            self._priority_arr[row] = self._priority_arr[last]
             self._masks[:, row] = self._masks[:, last]
         self._dtable = self._dtable[:last]
         self._deadline_arr = self._deadline_arr[:last]
+        self._priority_arr = self._priority_arr[:last]
         p, m = self._order.shape
         new_order = self._order[self._order != row].reshape(p, m - 1)
         if row != last:
@@ -445,6 +503,88 @@ class GAScheduler:
         """Drop the event-level cost cache (population about to change)."""
         self._cached_costs = None
         self._cost_cache_key = None
+
+    def _constraint_arrays(
+        self,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Row-keyed ``(pred matrix, floor vector)``, or ``(None, None)``.
+
+        The pred matrix is ``(m, maxP)`` of predecessor *rows* padded with
+        the sentinel row ``m``; the floor vector is ``(m,)`` with ``-inf``
+        where unconstrained.  A constraint is active only while **both**
+        ends are still in the optimisation set — a dispatched parent's
+        influence survives as the child's floor instead.  Both arrays are
+        ``None`` whenever no constraint of that kind is active, which is
+        what keeps the independent-task evaluation path untouched.
+        """
+        if self._constraint_cache is None:
+            m = len(self._id_order)
+            pred_rows: Dict[int, List[int]] = {}
+            for child, parents in self._preds.items():
+                crow = self._row_of.get(child)
+                if crow is None:
+                    continue
+                rows = [self._row_of[p] for p in parents if p in self._row_of]
+                if rows:
+                    pred_rows[crow] = rows
+            pred_mat = None
+            if pred_rows:
+                maxp = max(len(v) for v in pred_rows.values())
+                pred_mat = np.full((m, maxp), m, dtype=np.int64)
+                for crow, rows in pred_rows.items():
+                    pred_mat[crow, : len(rows)] = rows
+            floor_vec = None
+            entries = [
+                (self._row_of[t], f)
+                for t, f in self._floor.items()
+                if t in self._row_of
+            ]
+            if entries:
+                floor_vec = np.full(m, -np.inf)
+                for r, f in entries:
+                    floor_vec[r] = f
+            self._constraint_cache = (pred_mat, floor_vec)
+        return self._constraint_cache
+
+    def _repair_orders(self, order: np.ndarray) -> None:
+        """Stable topological repair of every ordering string, in place.
+
+        Individuals already respecting every active precedence constraint
+        are untouched (the common case: crossover splices and most swap
+        mutations preserve validity); violators are rebuilt by a stable
+        Kahn pass — tasks keep their relative order except where a
+        predecessor must be pulled ahead.  A no-op (and zero cost) when no
+        constraints are active, preserving the independent-task paths
+        byte for byte.
+        """
+        pred_mat, _ = self._constraint_arrays()
+        if pred_mat is None:
+            return
+        m = len(self._id_order)
+        pos = np.empty(m + 1, dtype=np.int64)
+        for p in range(order.shape[0]):
+            seq = order[p]
+            pos[m] = -1  # the sentinel row never binds
+            pos[seq] = np.arange(m)
+            latest_pred = pos[pred_mat].max(axis=1)
+            if np.all(pos[:m] > latest_pred):
+                continue
+            placed = np.zeros(m + 1, dtype=bool)
+            placed[m] = True
+            out: List[int] = []
+            pending = [int(r) for r in seq]
+            while pending:
+                for i, r in enumerate(pending):
+                    if placed[pred_mat[r]].all():
+                        out.append(r)
+                        placed[r] = True
+                        del pending[i]
+                        break
+                else:  # pragma: no cover - graphs are validated acyclic
+                    raise ScheduleError(
+                        "precedence constraints contain a cycle"
+                    )
+            order[p] = out
 
     def _store_cost_cache(
         self, costs: np.ndarray, node_free_times: Sequence[float], ref_time: float
@@ -568,15 +708,33 @@ class GAScheduler:
         weighting = self._config.idle_weighting
         dtable = self._dtable
         deadlines = self._deadline_arr
+        # Workflow constraints (None/None for independent tasks, keeping
+        # this loop byte-identical to the unconstrained original): floors
+        # lower-bound a task's start; the completion track carries each
+        # row's finish time so successors start no earlier.  Row ``m`` is
+        # the sentinel for padded predecessor slots (-inf, never binds).
+        pred_mat, floor_vec = self._constraint_arrays()
+        comp_track = (
+            np.full((pop, m + 1), -np.inf) if pred_mat is not None else None
+        )
         for j in range(m):
             rows = order[:, j]
             msk = masks[rows_idx, rows]  # (pop, n)
             scratch.fill(-np.inf)
             np.copyto(scratch, free, where=msk)
             start = scratch.max(axis=1)
+            if floor_vec is not None:
+                start = np.maximum(start, floor_vec[rows])
+            if comp_track is not None:
+                pm = pred_mat[rows]  # (pop, maxP) predecessor rows
+                start = np.maximum(
+                    start, comp_track[rows_idx[:, None], pm].max(axis=1)
+                )
             counts = msk.sum(axis=1)
             dur = dtable[rows, counts - 1]
             comp = start + dur
+            if comp_track is not None:
+                comp_track[rows_idx, rows] = comp
             np.subtract(start[:, None], free, out=scratch)
             gap.fill(0.0)
             np.copyto(gap, scratch, where=msk)
@@ -854,7 +1012,15 @@ class GAScheduler:
         node_free_times: Sequence[float],
         ref_time: float,
     ) -> np.ndarray:
-        """eq.-(8) costs through the lean whole-population evaluator."""
+        """eq.-(8) costs through the lean whole-population evaluator.
+
+        Workflow constraints route through :meth:`_evaluate` instead —
+        the lean evaluator has no completion track, and the vectorized
+        kernel's contract is cost parity, not a particular code path.
+        """
+        pred_mat, floor_vec = self._constraint_arrays()
+        if pred_mat is not None or floor_vec is not None:
+            return self._evaluate(order, masks, node_free_times, ref_time)
         self._stats.evaluate_calls += 1
         return vectorized_costs(
             order,
@@ -891,12 +1057,19 @@ class GAScheduler:
         pop = self._order.shape[0]
         order_parts = []
         if cfg.warmstart_count > 0:
+            # Priorities feed the seed rules only when some task carries a
+            # nonzero b-level — the all-zero default keeps the call (and
+            # its RNG draws) identical to the pre-workflow path.
+            priorities = (
+                self._priority_arr if np.any(self._priority_arr != 0.0) else None
+            )
             order_parts.append(
                 warmstart_orders(
                     self._dtable,
                     self._deadline_arr,
                     cfg.warmstart_count,
                     self._rng,
+                    priorities=priorities,
                 )
             )
         if cfg.memetic:
@@ -904,6 +1077,7 @@ class GAScheduler:
         if not order_parts:
             return costs
         w_orders = np.concatenate(order_parts)
+        self._repair_orders(w_orders)
         w_masks = greedy_allocation_masks_batch(
             w_orders, self._dtable, node_free_times, ref_time
         )
@@ -1071,6 +1245,7 @@ class GAScheduler:
                     flip_idx,
                     rng,
                 )
+                self._repair_orders(child_order)
                 child_costs = self._vector_costs(
                     child_order, child_masks, node_free_times, ref_time
                 )
@@ -1173,6 +1348,7 @@ class GAScheduler:
             parents = stochastic_remainder_selection(fitness, n_children, self._rng)
             new_order, new_masks = self._make_children(parents, n_children)
             self._mutate_population(new_order, new_masks)
+            self._repair_orders(new_order)
             self._order = np.concatenate([self._order[elite_idx], new_order])
             self._masks = np.concatenate([self._masks[elite_idx], new_masks])
             self._generations += 1
@@ -1291,7 +1467,7 @@ class GAScheduler:
         """
         from repro.checkpoint.codec import encode_ndarray
 
-        return {
+        state = {
             "kernel": self._config.effective_kernel,
             "id_order": list(self._id_order),
             "dtable": encode_ndarray(self._dtable),
@@ -1312,6 +1488,20 @@ class GAScheduler:
                 else [self._cost_cache_key[0].hex(), self._cost_cache_key[1]]
             ),
         }
+        # Workflow keys appear only when carrying non-default state, so
+        # independent-task snapshots stay byte-identical to the seed's.
+        if np.any(self._priority_arr != 0.0):
+            state["priorities"] = [float(v) for v in self._priority_arr]
+        if self._floor:
+            state["floors"] = [
+                [int(t), float(f)] for t, f in sorted(self._floor.items())
+            ]
+        if self._preds:
+            state["preds"] = [
+                [int(t), [int(p) for p in parents]]
+                for t, parents in sorted(self._preds.items())
+            ]
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Rebuild the population exactly as snapshot (RNG restored elsewhere).
@@ -1338,6 +1528,18 @@ class GAScheduler:
         self._row_of = {tid: row for row, tid in enumerate(self._id_order)}
         self._dtable = decode_ndarray(state["dtable"])
         self._deadline_arr = np.asarray(state["deadlines"], dtype=float)
+        priorities = state.get("priorities")
+        self._priority_arr = (
+            np.zeros(len(self._id_order), dtype=float)
+            if priorities is None
+            else np.asarray(priorities, dtype=float)
+        )
+        self._floor = {int(t): float(f) for t, f in state.get("floors", [])}
+        self._preds = {
+            int(t): tuple(int(p) for p in parents)
+            for t, parents in state.get("preds", [])
+        }
+        self._constraint_cache = None
         self._order = (
             None if state["order"] is None else decode_ndarray(state["order"])
         )

@@ -140,6 +140,8 @@ def build_schedule(
     duration: Callable[[int, int], float],
     *,
     ref_time: float = 0.0,
+    floors: "Mapping[int, float] | None" = None,
+    predecessors: "Mapping[int, Sequence[int]] | None" = None,
 ) -> Schedule:
     """Build the earliest-start schedule for *solution*.
 
@@ -156,6 +158,16 @@ def build_schedule(
         for the task on that allocation size (homogeneous resource).
     ref_time:
         The current virtual time.
+    floors:
+        Optional per-task earliest start times (absolute) — workflow data
+        still staging in, or a dispatched parent's booked completion.
+    predecessors:
+        Optional ``task_id -> predecessor task ids`` precedence map: a
+        task starts no earlier than every listed predecessor's completion
+        *within this schedule* (predecessors absent from the solution are
+        ignored — their influence arrives as a floor instead).  Both
+        default to ``None``, which is byte-identical to the independent
+        builder.
 
     Raises
     ------
@@ -170,9 +182,17 @@ def build_schedule(
         )
     entries: List[ScheduledTask] = []
     pockets: List[IdlePocket] = []
+    completions: Dict[int, float] = {}
     for task_id, mask in solution.items():
         node_ids = np.flatnonzero(mask)
         start = float(free[node_ids].max())
+        if floors is not None:
+            start = max(start, float(floors.get(int(task_id), start)))
+        if predecessors is not None:
+            for pred in predecessors.get(int(task_id), ()):
+                pred_completion = completions.get(int(pred))
+                if pred_completion is not None:
+                    start = max(start, pred_completion)
         dur = float(duration(int(task_id), int(node_ids.size)))
         if not (dur > 0 and np.isfinite(dur)):
             raise ScheduleError(
@@ -184,6 +204,7 @@ def build_schedule(
             if start > free[nid]:
                 pockets.append(IdlePocket(int(nid), float(free[nid]), start))
         free[node_ids] = completion
+        completions[int(task_id)] = completion
         entries.append(
             ScheduledTask(int(task_id), tuple(int(i) for i in node_ids), start, completion)
         )

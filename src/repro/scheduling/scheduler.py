@@ -35,6 +35,7 @@ import numpy as np
 from repro.errors import TaskError, ValidationError
 from repro.obs.records import (
     CostComponents,
+    DagReady,
     TaskCompleted,
     TaskDispatched,
     TaskQueued,
@@ -56,7 +57,7 @@ from repro.sim.engine import Engine
 from repro.sim.events import EventHandle, Priority
 from repro.tasks.execution import ExecutionEngine, ExecutionMode
 from repro.tasks.queue import TaskQueue
-from repro.tasks.task import Environment, Task, TaskRequest
+from repro.tasks.task import Environment, Task, TaskRequest, TaskState
 
 __all__ = ["SchedulingPolicy", "LocalScheduler"]
 
@@ -201,6 +202,27 @@ class LocalScheduler:
         self._cached_node_free: Optional[np.ndarray] = None
         # task id -> pending static-launch event (checkpoint support).
         self._static_launch_handles: dict[int, "EventHandle"] = {}
+        # Workflow gating state — all empty for independent-task runs, in
+        # which case every path below is byte-identical to the seed:
+        # * _gate: task id -> parent node names whose inputs have not yet
+        #   arrived at this cluster (remote transfers in flight, or a
+        #   co-located parent still queued/running).  Gated tasks are never
+        #   dispatched; `dag.ready` is emitted the instant a gate clears.
+        # * _floors: task id -> absolute earliest start (staging estimate
+        #   or a dispatched parent's booked completion), mirrored into the
+        #   GA and into dispatch-side schedule building.
+        # * _constraints: child task id -> co-queued parent task ids that
+        #   must precede it; _dependants is the reverse index used to
+        #   collapse a constraint into a floor when the parent launches.
+        # * _completion_watch: parent task id -> (child, parent node) gate
+        #   keys cleared when the parent completes locally.
+        # * _wf_node_task: (workflow id, node) -> local task id.
+        self._gate: dict[int, set] = {}
+        self._floors: dict[int, float] = {}
+        self._constraints: dict[int, Tuple[int, ...]] = {}
+        self._dependants: dict[int, set] = {}
+        self._completion_watch: dict[int, List[Tuple[int, str]]] = {}
+        self._wf_node_task: dict[Tuple[int, str], int] = {}
 
     # ------------------------------------------------------------------ state
 
@@ -253,6 +275,10 @@ class LocalScheduler:
     def all_tasks(self) -> List[Task]:
         """Every task ever submitted here, in submission order."""
         return list(self._all_tasks)
+
+    def task(self, task_id: int) -> Optional[Task]:
+        """The task submitted here under *task_id*, or ``None``."""
+        return self._task_by_id.get(task_id)
 
     def supports(self, environment: Environment) -> bool:
         """Whether this resource provides *environment* (matchmaking gate)."""
@@ -320,7 +346,14 @@ class LocalScheduler:
         now = self._sim.now
         free = self.effective_free_times()
         best = self._ga.best_solution(free, now)
-        schedule = build_schedule(best, free, self._task_duration, ref_time=now)
+        schedule = build_schedule(
+            best,
+            free,
+            self._task_duration,
+            ref_time=now,
+            floors=self._floors or None,
+            predecessors=self._constraints or None,
+        )
         self._cached_node_free = np.array(
             [schedule.node_free_after(n.node_id) for n in self._resource.nodes]
         )
@@ -356,6 +389,12 @@ class LocalScheduler:
                 f"resource {self._resource.name!r} does not support "
                 f"{request.environment.value!r}"
             )
+        if request.workflow is not None and self._policy.is_static:
+            raise TaskError(
+                f"resource {self._resource.name!r} runs the static "
+                f"{self._policy.value!r} policy, which cannot honour "
+                f"workflow precedence — workflow tasks need the GA"
+            )
         task = self._queue.submit(request)
         self._all_tasks.append(task)
         self._task_by_id[task.task_id] = task
@@ -371,10 +410,120 @@ class LocalScheduler:
             self._place_static(task)
         else:
             assert self._ga is not None
-            self._ga.add_task(task.task_id, task.deadline)
+            if request.workflow is None:
+                self._ga.add_task(task.task_id, task.deadline)
+            else:
+                floor, preds = self._register_workflow(task)
+                self._ga.add_task(
+                    task.task_id,
+                    task.deadline,
+                    priority=request.workflow.priority,
+                    floor=floor,
+                    predecessors=preds,
+                )
             self._evolve_and_dispatch()
         self._notify_service_change()
         return task
+
+    def _register_workflow(self, task: Task) -> Tuple[Optional[float], Tuple[int, ...]]:
+        """Record a workflow task's gates/constraints; ``(floor, preds)``.
+
+        Called before the task enters the GA so the very first dispatch
+        pass already sees it gated.  Each binding input resolves to one of:
+        already local (parent ran here and completed, or the output staged
+        in earlier) — no gate; co-located and still queued — an ordering
+        constraint plus a completion gate; co-located and running — a
+        floor at the parent's booked completion plus a completion gate;
+        remote — a transfer gate the agent clears via
+        :meth:`notify_input_arrived`.
+        """
+        binding = task.request.workflow
+        assert binding is not None
+        tid = task.task_id
+        self._wf_node_task[(binding.workflow_id, binding.node)] = tid
+        gate: set = set()
+        floor: Optional[float] = None
+        preds: List[int] = []
+        own = self._resource.name
+        for parent_node, source, _size in binding.inputs:
+            if source == own:
+                continue  # the parent ran here; its output is already local
+            if source == "":
+                ptid = self._wf_node_task.get((binding.workflow_id, parent_node))
+                if ptid is None:
+                    raise TaskError(
+                        f"workflow {binding.workflow_id} node {binding.node!r} "
+                        f"depends on {parent_node!r}, which was never "
+                        f"submitted to {own!r}"
+                    )
+                parent = self._task_by_id[ptid]
+                if parent.state is TaskState.QUEUED:
+                    preds.append(ptid)
+                    self._dependants.setdefault(ptid, set()).add(tid)
+                elif parent.state is TaskState.RUNNING:
+                    nodes = parent.allocated_nodes or ()
+                    booked = max(
+                        (self._executor.node_free_at(nid) for nid in nodes),
+                        default=self._sim.now,
+                    )
+                    floor = booked if floor is None else max(floor, booked)
+                else:
+                    continue  # completed: output present
+                gate.add(parent_node)
+                self._completion_watch.setdefault(ptid, []).append(
+                    (tid, parent_node)
+                )
+            else:
+                gate.add(parent_node)  # remote input: wait for the transfer
+        if preds:
+            self._constraints[tid] = tuple(preds)
+        if floor is not None:
+            self._floors[tid] = floor
+        if gate:
+            self._gate[tid] = gate
+        else:
+            self._emit_ready(task)
+        return floor, tuple(preds)
+
+    def _emit_ready(self, task: Task) -> None:
+        """Trace ``dag.ready``: every input of a workflow task is local."""
+        if self._tracer is None:
+            return
+        binding = task.request.workflow
+        assert binding is not None
+        self._tracer.emit(
+            DagReady(
+                t=self._sim.now,
+                resource=self._resource.name,
+                task_id=task.task_id,
+                workflow=binding.workflow_id,
+                node=binding.node,
+            )
+        )
+
+    def notify_input_arrived(self, task_id: int, parent_node: str) -> None:
+        """A staged-in input for *task_id* landed on this cluster.
+
+        Clears the matching gate key; when the last key clears the task
+        becomes dispatchable (``dag.ready``) and a scheduling pass runs.
+        """
+        gate = self._gate.get(task_id)
+        if gate is None or parent_node not in gate:
+            return
+        gate.discard(parent_node)
+        if not gate:
+            del self._gate[task_id]
+            self._emit_ready(self._task_by_id[task_id])
+            if self._policy is SchedulingPolicy.GA:
+                self._evolve_and_dispatch()
+
+    def set_start_floor(self, task_id: int, floor: float) -> None:
+        """Raise a queued task's earliest-start floor (transfer ETA)."""
+        current = self._floors.get(task_id)
+        if current is None or floor > current:
+            self._floors[task_id] = float(floor)
+        if self._ga is not None and task_id in self._queue:
+            self._ga.set_floor(task_id, floor)
 
     # ----------------------------------------------------- static placement
 
@@ -453,7 +602,14 @@ class LocalScheduler:
         if free is None:
             free = self.effective_free_times()
         best = self._ga.best_solution(free, now)
-        schedule = build_schedule(best, free, self._task_duration, ref_time=now)
+        schedule = build_schedule(
+            best,
+            free,
+            self._task_duration,
+            ref_time=now,
+            floors=self._floors or None,
+            predecessors=self._constraints or None,
+        )
         self._cached_node_free = np.array(
             [schedule.node_free_after(n.node_id) for n in self._resource.nodes]
         )
@@ -477,10 +633,15 @@ class LocalScheduler:
                 )
             )
         for entry in schedule.entries:
+            if entry.task_id in self._gate:
+                continue  # inputs still staging in (or a parent unfinished)
             if entry.start <= now + _EPS:
                 task = self._queue.remove(entry.task_id)
                 self._ga.remove_task(entry.task_id)
                 completion = self._executor.launch(task, entry.node_ids)
+                self._floors.pop(entry.task_id, None)
+                if self._dependants:
+                    self._release_dependants(entry.task_id, completion)
                 if self._tracer is not None:
                     self._tracer.emit(
                         TaskDispatched(
@@ -492,6 +653,92 @@ class LocalScheduler:
                             completion=completion,
                         )
                     )
+
+    def _release_dependants(self, parent_id: int, completion: float) -> None:
+        """Collapse ordering constraints on a just-launched parent to floors.
+
+        The parent left the optimisation set, so "after the parent" becomes
+        "not before the parent's booked completion" for every waiting
+        child (the completion gate still protects against runtime noise).
+        """
+        assert self._ga is not None
+        for child in sorted(self._dependants.pop(parent_id, ())):
+            remaining = tuple(
+                p for p in self._constraints.get(child, ()) if p != parent_id
+            )
+            if remaining:
+                self._constraints[child] = remaining
+            else:
+                self._constraints.pop(child, None)
+            current = self._floors.get(child)
+            if current is None or completion > current:
+                self._floors[child] = completion
+            if child in self._queue:
+                self._ga.set_floor(child, completion)
+
+    def workflow_task_id(self, workflow_id: int, node: str) -> Optional[int]:
+        """The local task id realising *(workflow, node)*, or ``None``.
+
+        The binding outlives the task (completed parents must stay
+        resolvable), so callers should check the task's state before
+        acting on the id.
+        """
+        return self._wf_node_task.get((workflow_id, node))
+
+    # ----------------------------------------------------------- cancellation
+
+    def cancel_task(self, task_id: int) -> Task:
+        """Cancel a task whether it is still queued or already running.
+
+        Queued tasks leave the optimisation set (and the GA population /
+        static booking); running tasks are killed via
+        :meth:`ExecutionEngine.cancel`, freeing their nodes immediately.
+        Either way the follow-up scheduling pass runs so freed capacity
+        is reused at once.
+        """
+        self._forget_workflow_state(task_id)
+        if task_id in self._queue:
+            task = self._queue.cancel(task_id)
+            if self._policy.is_static:
+                handle = self._static_launch_handles.pop(task_id, None)
+                if handle is not None:
+                    handle.cancel()
+                assert self._static is not None
+                self._static.forget(task_id)
+            else:
+                assert self._ga is not None
+                self._ga.remove_task(task_id)
+                self._evolve_and_dispatch()
+            self._notify_service_change()
+            return task
+        task = self._executor.cancel(task_id)
+        if self._policy is SchedulingPolicy.GA:
+            self._evolve_and_dispatch()
+        self._notify_service_change()
+        return task
+
+    def _forget_workflow_state(self, task_id: int) -> None:
+        """Drop gating/constraint bookkeeping for a cancelled task.
+
+        Children left waiting on the cancelled task keep their gates —
+        failure propagation (the workflow coordinator cancelling the rest
+        of the graph) is the layer that resolves them.
+        """
+        if not (self._gate or self._floors or self._constraints
+                or self._completion_watch or self._dependants):
+            return
+        self._gate.pop(task_id, None)
+        self._floors.pop(task_id, None)
+        for parent in self._constraints.pop(task_id, ()):
+            deps = self._dependants.get(parent)
+            if deps is not None:
+                deps.discard(task_id)
+                if not deps:
+                    del self._dependants[parent]
+        self._dependants.pop(task_id, None)
+        self._completion_watch.pop(task_id, None)
+        for watchers in self._completion_watch.values():
+            watchers[:] = [w for w in watchers if w[0] != task_id]
 
     # ------------------------------------------------------------ completions
 
@@ -505,6 +752,16 @@ class LocalScheduler:
                     completion=self._sim.now,
                 )
             )
+        # Clear co-located completion gates before the scheduling pass so
+        # children of the finished parent are dispatchable this very event.
+        for child, parent_node in self._completion_watch.pop(task.task_id, ()):
+            gate = self._gate.get(child)
+            if gate is None:
+                continue
+            gate.discard(parent_node)
+            if not gate:
+                del self._gate[child]
+                self._emit_ready(self._task_by_id[child])
         for listener in self._result_listeners:
             listener(task)
         if self._policy is SchedulingPolicy.GA:
@@ -569,6 +826,34 @@ class LocalScheduler:
             state["ga"] = self._ga.snapshot_state()
         if self._static is not None:
             state["static"] = self._static.snapshot_state()
+        # Workflow gating state rides along only when any is live, so
+        # independent-task snapshots stay byte-identical to the seed's.
+        workflow: dict = {}
+        if self._gate:
+            workflow["gate"] = [
+                [tid, sorted(keys)] for tid, keys in sorted(self._gate.items())
+            ]
+        if self._floors:
+            workflow["floors"] = [
+                [tid, f] for tid, f in sorted(self._floors.items())
+            ]
+        if self._constraints:
+            workflow["constraints"] = [
+                [tid, list(parents)]
+                for tid, parents in sorted(self._constraints.items())
+            ]
+        if self._completion_watch:
+            workflow["watch"] = [
+                [tid, [[c, n] for c, n in watchers]]
+                for tid, watchers in sorted(self._completion_watch.items())
+            ]
+        if self._wf_node_task:
+            workflow["node_tasks"] = [
+                [wf, node, tid]
+                for (wf, node), tid in sorted(self._wf_node_task.items())
+            ]
+        if workflow:
+            state["workflow"] = workflow
         return state
 
     def restore_state(self, state: dict, *, applications) -> None:
@@ -603,6 +888,29 @@ class LocalScheduler:
             self._static_launch_handles[int(tid)] = self._sim.restore_event(
                 descriptor, lambda t=task: self._launch_static(t)
             )
+        workflow = state.get("workflow", {})
+        self._gate = {
+            int(tid): set(keys) for tid, keys in workflow.get("gate", [])
+        }
+        self._floors = {
+            int(tid): float(f) for tid, f in workflow.get("floors", [])
+        }
+        self._constraints = {
+            int(tid): tuple(int(p) for p in parents)
+            for tid, parents in workflow.get("constraints", [])
+        }
+        self._dependants = {}
+        for child, parents in self._constraints.items():
+            for parent in parents:
+                self._dependants.setdefault(parent, set()).add(child)
+        self._completion_watch = {
+            int(tid): [(int(c), str(n)) for c, n in watchers]
+            for tid, watchers in workflow.get("watch", [])
+        }
+        self._wf_node_task = {
+            (int(wf), str(node)): int(tid)
+            for wf, node, tid in workflow.get("node_tasks", [])
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -109,6 +109,8 @@ def warmstart_orders(
     deadlines: np.ndarray,
     count: int,
     rng: np.random.Generator,
+    *,
+    priorities: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """*count* candidate orderings — ``(count, m)`` row permutations.
 
@@ -120,6 +122,12 @@ def warmstart_orders(
     2. **earliest deadline first** — ascending δ;
     3. **arrival order** — the identity row permutation (row order is
        insertion order until the first swap-remove).
+
+    With *priorities* given (workflow b-levels), a **descending-priority**
+    rule — the classic list-scheduling order: most critical-path work
+    first, arrival order on ties — is prepended as rule 0.  ``None``
+    (the default) keeps the rule list, and therefore the rng draws,
+    identical to the pre-workflow behaviour.
 
     Remaining slots are perturbed copies: a base rule is cycled through
     and two random positions are swapped per extra candidate, giving the
@@ -135,6 +143,8 @@ def warmstart_orders(
         np.argsort(deadlines, kind="stable"),
         np.arange(m, dtype=np.int64),
     ]
+    if priorities is not None:
+        base.insert(0, np.argsort(-np.asarray(priorities, dtype=float), kind="stable"))
     orders = np.empty((count, m), dtype=np.int64)
     for i in range(min(count, len(base))):
         orders[i] = base[i]

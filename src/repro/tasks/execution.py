@@ -232,6 +232,39 @@ class ExecutionEngine:
         for listener in self._completion_listeners:
             listener(task)
 
+    # ----------------------------------------------------------------- cancel
+
+    def cancel(self, task_id: int) -> Task:
+        """Kill a *running* task now; its nodes free at the current instant.
+
+        The pending completion event is cancelled, the task transitions
+        ``RUNNING -> CANCELLED``, and each allocated node's booking is
+        truncated to the kill time so the capacity is reusable
+        immediately.  Completion listeners do **not** fire — the caller
+        (workflow failure propagation, operator teardown) owns the
+        follow-up accounting.
+        """
+        try:
+            task = self._running.pop(task_id)
+        except KeyError:
+            raise TaskError(f"task {task_id} is not running") from None
+        handle = self._completion_handles.pop(task_id, None)
+        if handle is not None:
+            handle.cancel()
+        now = self._sim.now
+        task.mark_cancelled()
+        assert task.allocated_nodes is not None
+        allocated = set(task.allocated_nodes)
+        for nid in allocated:
+            self._node_free_at[nid] = min(self._node_free_at[nid], now)
+        self._busy_intervals = [
+            b
+            if b.task_id != task_id
+            else BusyInterval(b.node_id, b.start, min(b.end, max(b.start, now)), task_id)
+            for b in self._busy_intervals
+        ]
+        return task
+
     # ------------------------------------------------------------- checkpoint
 
     def snapshot_state(self) -> dict:

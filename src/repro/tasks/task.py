@@ -10,8 +10,12 @@ scheduled, and a validated lifecycle.
 Lifecycle::
 
     SUBMITTED ──> QUEUED ──> RUNNING ──> COMPLETED
-        │            │
-        └────────────┴──────> REJECTED / CANCELLED
+        │            │          │
+        └────────────┴──────────┴──────> REJECTED / CANCELLED
+
+(``RUNNING -> CANCELLED`` covers in-flight kills: a workflow ancestor
+failing permanently, or an operator tearing down a churn-killed agent's
+work.)
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from repro.errors import TaskError, TaskStateError
 from repro.pace.application import ApplicationModel
 from repro.utils.validation import check_non_negative
 
-__all__ = ["Environment", "TaskState", "TaskRequest", "Task"]
+__all__ = ["Environment", "TaskState", "WorkflowBinding", "TaskRequest", "Task"]
 
 
 class Environment(str, enum.Enum):
@@ -57,11 +61,41 @@ class TaskState(enum.Enum):
 _ALLOWED_TRANSITIONS = {
     TaskState.SUBMITTED: {TaskState.QUEUED, TaskState.REJECTED, TaskState.CANCELLED},
     TaskState.QUEUED: {TaskState.RUNNING, TaskState.CANCELLED},
-    TaskState.RUNNING: {TaskState.COMPLETED},
+    TaskState.RUNNING: {TaskState.COMPLETED, TaskState.CANCELLED},
     TaskState.COMPLETED: set(),
     TaskState.REJECTED: set(),
     TaskState.CANCELLED: set(),
 }
+
+
+@dataclass(frozen=True)
+class WorkflowBinding:
+    """Ties one :class:`TaskRequest` to a node of a task graph.
+
+    Carried on the request so every layer (discovery, scheduling,
+    dispatch gating) can see the task's workflow context without a side
+    channel:
+
+    ``workflow_id`` / ``node``
+        Which graph this task belongs to and which node it realises.
+    ``priority``
+        The node's b-level (critical-path length to the sink, seconds).
+        Precedence-aware runs stamp real b-levels; the naive baseline
+        stamps 0.0 everywhere, turning every priority-keyed stable sort
+        into a no-op.
+    ``inputs``
+        One ``(parent_node, source_resource, size)`` triple per inbound
+        edge.  ``source_resource`` names the cluster holding the
+        parent's output; the empty string marks a parent that is still
+        in flight on the *same* cluster (eager release), where the
+        dependency is enforced as a scheduler precedence constraint
+        instead of a transfer.
+    """
+
+    workflow_id: int
+    node: str
+    priority: float = 0.0
+    inputs: Tuple[Tuple[str, str, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -83,6 +117,11 @@ class TaskRequest:
     origin:
         Name of the agent the request first arrived at (for tracing
         dispatch decisions in the experiments).
+    workflow:
+        Optional :class:`WorkflowBinding` when this request realises a
+        task-graph node; ``None`` (the default) is an ordinary
+        independent task and leaves every code path byte-identical to
+        the pre-workflow system.
     """
 
     application: ApplicationModel
@@ -91,6 +130,7 @@ class TaskRequest:
     submit_time: float = 0.0
     email: str = "user@example.org"
     origin: str = ""
+    workflow: Optional[WorkflowBinding] = None
 
     def __post_init__(self) -> None:
         check_non_negative(self.submit_time, "submit_time")
@@ -202,17 +242,13 @@ class Task:
 
     def mark_completed(self, completion_time: float) -> None:
         """Record execution completion η_j."""
-        if TaskState.COMPLETED not in _ALLOWED_TRANSITIONS[self._state]:
-            raise TaskStateError(
-                f"task {self._task_id}: illegal transition "
-                f"{self._state.name} -> COMPLETED"
-            )
-        assert self._start_time is not None  # RUNNING implies a start time
-        if completion_time < self._start_time:
-            raise TaskError(
-                f"task {self._task_id}: completion {completion_time} before "
-                f"start {self._start_time}"
-            )
+        if self._state is TaskState.RUNNING:
+            assert self._start_time is not None  # RUNNING implies a start time
+            if completion_time < self._start_time:
+                raise TaskError(
+                    f"task {self._task_id}: completion {completion_time} before "
+                    f"start {self._start_time}"
+                )
         self._transition(TaskState.COMPLETED)
         self._completion_time = float(completion_time)
 
@@ -221,7 +257,7 @@ class Task:
         self._transition(TaskState.REJECTED)
 
     def mark_cancelled(self) -> None:
-        """Cancel a task that has not started running."""
+        """Cancel a task — queued, submitted, or already running."""
         self._transition(TaskState.CANCELLED)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,163 @@
+"""Checkpoint property: mid-workflow scheduler state resumes byte-identical.
+
+A scheduler snapshotted while workflow tasks are gated, floored, and
+precedence-constrained must restore into a fresh scheduler such that
+
+* the re-snapshot equals the original snapshot byte for byte (the codec
+  loses nothing — gates, floors, constraints, completion watches, node
+  bindings, GA workflow keys), and
+* driving the original and the restored scheduler through the same
+  event script produces identical task timelines.
+
+The flip side is pinned too: a snapshot of an independent-task scheduler
+carries no ``workflow`` key at all, so pre-workflow snapshot files stay
+readable and new independent-task snapshots stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.pace.evaluation import EvaluationEngine
+from repro.pace.hardware import SGI_ORIGIN_2000
+from repro.pace.resource import ResourceModel
+from repro.pace.workloads import paper_application_specs
+from repro.scheduling.scheduler import LocalScheduler, SchedulingPolicy
+from repro.sim.engine import Engine
+from repro.tasks.task import Environment, TaskRequest, TaskState, WorkflowBinding
+
+SPECS = paper_application_specs()
+
+
+def fresh_scheduler(seed: int = 2003):
+    sim = Engine()
+    scheduler = LocalScheduler(
+        sim,
+        ResourceModel.homogeneous("small", SGI_ORIGIN_2000, 4),
+        EvaluationEngine(),
+        policy=SchedulingPolicy.GA,
+        rng=np.random.default_rng(seed),
+        generations_per_event=5,
+    )
+    return sim, scheduler
+
+
+def bound_request(sim, node, inputs=(), app="sweep3d"):
+    return TaskRequest(
+        application=SPECS[app].model,
+        environment=Environment.TEST,
+        deadline=sim.now + 300.0,
+        submit_time=sim.now,
+        workflow=WorkflowBinding(workflow_id=3, node=node, inputs=tuple(inputs)),
+    )
+
+
+def restore_into(sim, scheduler, sim_state, sched_state):
+    # the checkpoint fabric's order: engine first, then each component
+    sim.restore_state(sim_state)
+    scheduler.restore_state(
+        sched_state,
+        applications={name: spec.model for name, spec in SPECS.items()},
+    )
+
+
+def submit_mid_workflow(sim, scheduler):
+    """Queue a gated + floored + precedence-constrained workflow trio.
+
+    The root is itself gated on a staged-in input so it stays QUEUED,
+    which keeps the sink's dependency a live GA ordering constraint.
+    """
+    root = scheduler.submit(
+        bound_request(sim, "root", inputs=[("ext", "C9", 1.0)])
+    )
+    gated = scheduler.submit(
+        bound_request(sim, "stage", inputs=[("remote", "C1", 4.0)], app="jacobi")
+    )
+    scheduler.set_start_floor(gated.task_id, 25.0)
+    child = scheduler.submit(
+        bound_request(sim, "sink", inputs=[("root", "", 2.0)], app="fft")
+    )
+    return root, gated, child
+
+
+def drive(sim, scheduler, root_id, gated_id):
+    sim.schedule(10.0, lambda: scheduler.notify_input_arrived(root_id, "ext"))
+    sim.schedule(30.0, lambda: scheduler.notify_input_arrived(gated_id, "remote"))
+    sim.run()
+    return [
+        (t.task_id, t.state.name, t.start_time, t.completion_time)
+        for t in sorted(scheduler.executor.completed_tasks, key=lambda t: t.task_id)
+    ]
+
+
+class TestMidWorkflowRoundTrip:
+    def test_resnapshot_is_byte_identical(self):
+        sim, scheduler = fresh_scheduler()
+        submit_mid_workflow(sim, scheduler)
+        engine_state = sim.snapshot_state()
+        state = scheduler.snapshot_state()
+        workflow = state["workflow"]
+        assert workflow["gate"] and workflow["floors"] and workflow["node_tasks"]
+        assert "floors" in state["ga"] and "preds" in state["ga"]
+
+        sim_b, restored = fresh_scheduler()
+        restore_into(sim_b, restored, engine_state, state)
+        again = restored.snapshot_state()
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            state, sort_keys=True
+        )
+
+    @pytest.mark.parametrize("seed", [2003, 7, 41])
+    def test_restored_run_matches_uninterrupted_run(self, seed):
+        sim_a, sched_a = fresh_scheduler(seed)
+        root_a, gated_a, _ = submit_mid_workflow(sim_a, sched_a)
+        engine_state = sim_a.snapshot_state()
+        state = sched_a.snapshot_state()
+
+        sim_b, sched_b = fresh_scheduler(seed)
+        restore_into(sim_b, sched_b, engine_state, state)
+        timeline_a = drive(sim_a, sched_a, root_a.task_id, gated_a.task_id)
+        timeline_b = drive(sim_b, sched_b, root_a.task_id, gated_a.task_id)
+        assert timeline_a == timeline_b
+        assert len(timeline_a) == 3
+        by_id = {tid: (start, done) for tid, _, start, done in timeline_a}
+        assert by_id[gated_a.task_id][0] >= 25.0  # the floor survived
+
+    def test_restored_gate_still_holds(self):
+        sim_a, sched_a = fresh_scheduler()
+        root, gated, _ = submit_mid_workflow(sim_a, sched_a)
+        engine_state = sim_a.snapshot_state()
+        state = sched_a.snapshot_state()
+
+        sim_b, sched_b = fresh_scheduler()
+        restore_into(sim_b, sched_b, engine_state, state)
+        sim_b.run_until(50.0)
+        restored_gated = sched_b.task(gated.task_id)
+        assert restored_gated.state is TaskState.QUEUED
+        sched_b.notify_input_arrived(root.task_id, "ext")
+        sched_b.notify_input_arrived(gated.task_id, "remote")
+        sim_b.run()
+        assert sched_b.task(gated.task_id).state is TaskState.COMPLETED
+
+
+class TestIndependentSnapshotsStayLean:
+    def test_no_workflow_key_without_workflows(self):
+        sim, scheduler = fresh_scheduler()
+        scheduler.submit(
+            TaskRequest(
+                application=SPECS["sweep3d"].model,
+                environment=Environment.TEST,
+                deadline=100.0,
+                submit_time=0.0,
+            )
+        )
+        state = scheduler.snapshot_state()
+        assert "workflow" not in state
+        assert "floors" not in state["ga"]
+        assert "preds" not in state["ga"]
+        assert "priorities" not in state["ga"]
+        for encoded in state["tasks"]:
+            assert "workflow" not in encoded["request"]

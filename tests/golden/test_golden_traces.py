@@ -11,6 +11,9 @@ Four checked-in traces lock in the system's decision stream end to end:
   ``AuctionPolicy``: every CFP round, sealed bid, and settlement.
 * ``exp6_reservation_seed2003.jsonl`` — a clean run under the
   ``ReservationPolicy``: bookings, confirmations, and releases.
+* ``workflow_forkjoin_seed2003.jsonl`` — a staged fork-join workflow on
+  the case-study grid: every ``dag.release``/``dag.transfer``/
+  ``dag.ready`` alongside the dispatch stream they gate.
 
 The comparison is exact, line for line.  A diff here means a behavioural
 change — a routing decision moved, a dispatch slot shifted, a retry
@@ -38,8 +41,12 @@ from repro.experiments.experiment4 import (
     experiment4_base_config,
     run_degraded,
 )
-from repro.experiments.runner import run_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_grid, run_experiment
 from repro.obs import MemorySink, Tracer, canonical_lines
+from repro.scheduling.scheduler import SchedulingPolicy
+from repro.tasks.graph import fork_join
+from repro.tasks.workflow import WorkflowCoordinator
 
 GOLDEN_DIR = pathlib.Path(__file__).parent
 REQUESTS = 12
@@ -76,11 +83,40 @@ def _trace_exp6_policy(kind: str) -> list:
     return canonical_lines(tracer.records)
 
 
+def _trace_workflow_fork_join() -> list:
+    message_module.set_message_counter(0)
+    tracer = Tracer(MemorySink())
+    config = ExperimentConfig(
+        name="golden-workflow",
+        policy=SchedulingPolicy.GA,
+        agents_enabled=True,
+        request_count=1,
+        master_seed=SEED,
+    )
+    system = build_grid(config, tracer=tracer)
+    coordinator = WorkflowCoordinator(
+        system.portal,
+        {name: spec.model for name, spec in system.specs.items()},
+        tracer=tracer,
+    )
+    system.start()
+    apps = ["sweep3d", "fft", "improc", "closure", "jacobi", "memsort"]
+    coordinator.start_workflow(
+        fork_join(apps, width=4, output_size=2.0), system.agents["S1"], 600.0
+    )
+    while not coordinator.all_resolved or system.portal.pending_count > 0:
+        if not system.sim.step():
+            break
+    system.stop()
+    return canonical_lines(tracer.records)
+
+
 CASES = {
     "exp1_seed2003.jsonl": _trace_exp1,
     "exp4_loss02_churn025.jsonl": _trace_exp4_cell,
     "exp6_auction_seed2003.jsonl": lambda: _trace_exp6_policy("auction"),
     "exp6_reservation_seed2003.jsonl": lambda: _trace_exp6_policy("reservation"),
+    "workflow_forkjoin_seed2003.jsonl": _trace_workflow_fork_join,
 }
 
 

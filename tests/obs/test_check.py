@@ -312,3 +312,91 @@ class TestViolationReporting:
             EventFired(t=4.0, label="b", priority=0, seq=1),
         ])
         assert [v.index for v in violations] == sorted(v.index for v in violations)
+
+
+class TestDispatchAfterInputs:
+    """The workflow precedence rule: inputs land before dispatch."""
+
+    @staticmethod
+    def _workflow_prefix(t=0.0):
+        from repro.obs.records import DagReady, DagRelease
+
+        return [
+            DagRelease(t=t, workflow=0, node="sink", request_id=5),
+            LocalSubmit(t=t, agent="S1", request_id=5, task_id=3),
+            TaskQueued(t=t, resource="S1", task_id=3),
+        ]
+
+    def test_clean_staged_sequence_passes(self):
+        from repro.obs.records import DagReady, DagTransfer
+
+        assert check_trace(self._workflow_prefix() + [
+            DagTransfer(t=4.0, agent="S1", workflow=0, node="sink",
+                        source="S9", size=8.0),
+            DagReady(t=4.0, resource="S1", task_id=3, workflow=0,
+                     node="sink"),
+            TaskDispatched(t=4.0, resource="S1", task_id=3, node_ids=(0,),
+                           start=4.0, completion=9.0),
+        ]) == []
+
+    def test_dispatch_without_ready_is_flagged(self):
+        violations = check_trace(self._workflow_prefix() + [
+            TaskDispatched(t=1.0, resource="S1", task_id=3, node_ids=(0,),
+                           start=1.0, completion=2.0),
+        ])
+        assert _rules(violations) == ["dispatch-after-inputs"]
+        assert "without a prior dag.ready" in violations[0].message
+
+    def test_independent_task_needs_no_ready(self):
+        # No dag.release for the request: not a workflow task.
+        assert check_trace([
+            LocalSubmit(t=0.0, agent="S1", request_id=5, task_id=3),
+            TaskQueued(t=0.0, resource="S1", task_id=3),
+            TaskDispatched(t=1.0, resource="S1", task_id=3, node_ids=(0,),
+                           start=1.0, completion=2.0),
+        ]) == []
+
+    def test_start_before_last_transfer_is_flagged(self):
+        from repro.obs.records import DagReady, DagTransfer
+
+        violations = check_trace(self._workflow_prefix() + [
+            DagReady(t=0.0, resource="S1", task_id=3, workflow=0,
+                     node="sink"),
+            DagTransfer(t=4.0, agent="S1", workflow=0, node="sink",
+                        source="S9", size=8.0),
+            TaskDispatched(t=4.0, resource="S1", task_id=3, node_ids=(0,),
+                           start=2.0, completion=9.0),
+        ])
+        # Three breaches: the transfer arrived after ready, the start
+        # predates the dispatch decision (dispatch-after-queue), and the
+        # start predates the input's arrival.
+        assert _rules(violations) == [
+            "dispatch-after-inputs",
+            "dispatch-after-queue",
+            "dispatch-after-inputs",
+        ]
+        assert "before its last input arrived" in violations[2].message
+
+    def test_transfer_after_ready_is_flagged(self):
+        from repro.obs.records import DagReady, DagTransfer
+
+        violations = check_trace(self._workflow_prefix() + [
+            DagReady(t=2.0, resource="S1", task_id=3, workflow=0,
+                     node="sink"),
+            DagTransfer(t=4.0, agent="S1", workflow=0, node="sink",
+                        source="S9", size=8.0),
+        ])
+        assert _rules(violations) == ["dispatch-after-inputs"]
+        assert "after the task was declared ready" in violations[0].message
+
+    def test_duplicate_ready_is_flagged(self):
+        from repro.obs.records import DagReady
+
+        violations = check_trace(self._workflow_prefix() + [
+            DagReady(t=2.0, resource="S1", task_id=3, workflow=0,
+                     node="sink"),
+            DagReady(t=3.0, resource="S1", task_id=3, workflow=0,
+                     node="sink"),
+        ])
+        assert _rules(violations) == ["dispatch-after-inputs"]
+        assert "declared ready twice" in violations[0].message

@@ -8,6 +8,7 @@ import pytest
 from repro.errors import ValidationError
 from repro.scheduling.coding import SolutionString
 from repro.scheduling.cost import (
+    IDLE_WEIGHTERS,
     CostWeights,
     deadline_penalty,
     exponential_idle_weight,
@@ -120,3 +121,38 @@ class TestScheduleCost:
             gapped_schedule, deadlines, CostWeights(1.0, 0.0, 0.0)
         )
         assert makespan_only.combined == 8.0
+
+
+class TestIdleWeighterClamping:
+    """Every weighter confines pockets to ``[0, horizon]`` identically.
+
+    Regression for the exponential/uniform weighters integrating over the
+    raw ``[start, end)`` interval: a pocket hanging past the horizon (or
+    starting before 0) must weigh exactly as much as its clamped part,
+    and never negative, under every registered weighter.
+    """
+
+    @pytest.mark.parametrize("name", sorted(IDLE_WEIGHTERS))
+    def test_out_of_range_pockets_match_clamped_pockets(self, name):
+        weighter = IDLE_WEIGHTERS[name]
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            horizon = float(rng.uniform(0.1, 50.0))
+            start = float(rng.uniform(-20.0, 70.0))
+            end = start + float(rng.uniform(0.0, 40.0))
+            raw = weighter(start, end, horizon)
+            a = min(max(start, 0.0), horizon)
+            b = min(max(end, 0.0), horizon)
+            clamped = weighter(a, b, horizon)
+            assert raw == pytest.approx(clamped)
+            assert raw >= 0.0
+            # a pocket never outweighs its in-horizon overlap duration
+            assert raw <= (b - a) + 1e-12
+
+    @pytest.mark.parametrize("name", sorted(IDLE_WEIGHTERS))
+    def test_degenerate_pockets_weigh_nothing(self, name):
+        weighter = IDLE_WEIGHTERS[name]
+        assert weighter(5.0, 5.0, 10.0) == 0.0
+        assert weighter(12.0, 15.0, 10.0) == 0.0  # entirely past horizon
+        assert weighter(-4.0, -1.0, 10.0) == 0.0  # entirely before zero
+        assert weighter(3.0, 7.0, 0.0) == 0.0  # zero horizon

@@ -1,0 +1,127 @@
+"""Tests for the GA kernel's workflow constraints: preds, floors, priorities.
+
+The keyword extensions of :meth:`GAScheduler.add_task` must (a) keep every
+individual's ordering topologically valid through splicing, crossover, and
+mutation, (b) push constrained costs up relative to the unconstrained
+problem (serialisation is real work), and (c) round-trip through the
+snapshot codec — with the workflow keys absent entirely when unused, so
+independent-task snapshots stay byte-identical to the seed format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scheduling.ga import GAConfig, GAScheduler
+
+
+def const_duration(seconds: float):
+    return lambda tid, k: seconds / k
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2003)
+
+
+def _orderings_respect(ga, pairs):
+    for sol in ga.population:
+        order = list(sol.ordering)
+        for pred, succ in pairs:
+            assert order.index(pred) < order.index(succ), (
+                f"{pred} after {succ} in {order}"
+            )
+
+
+class TestOrderingRepair:
+    def test_chain_valid_at_insertion(self, rng):
+        ga = GAScheduler(4, const_duration(8.0), rng, GAConfig(population_size=30))
+        ga.add_task(0, 100.0)
+        ga.add_task(1, 100.0, predecessors=[0])
+        ga.add_task(2, 100.0, predecessors=[1])
+        _orderings_respect(ga, [(0, 1), (1, 2)])
+
+    def test_chain_valid_through_evolution(self, rng):
+        ga = GAScheduler(4, const_duration(8.0), rng, GAConfig(population_size=30))
+        ga.add_task(0, 100.0)
+        ga.add_task(1, 100.0, predecessors=[0])
+        ga.add_task(2, 100.0, predecessors=[0])
+        ga.add_task(3, 100.0, predecessors=[1, 2])
+        for _ in range(5):
+            ga.evolve(3, [0.0] * 4, 0.0)
+            _orderings_respect(ga, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+    def test_constraints_survive_unrelated_removal(self, rng):
+        ga = GAScheduler(4, const_duration(8.0), rng, GAConfig(population_size=30))
+        ga.add_task(7, 100.0)
+        ga.add_task(8, 100.0, predecessors=[7])
+        ga.add_task(9, 100.0)
+        ga.remove_task(9)  # swap-remove must not corrupt the pred mapping
+        ga.evolve(2, [0.0] * 4, 0.0)
+        _orderings_respect(ga, [(7, 8)])
+
+
+class TestConstraintCosts:
+    def test_precedence_serialises_the_work(self, rng):
+        """A forced chain costs more than the parallelisable problem."""
+        flat = lambda tid, k: 8.0  # no speedup: parallelism is across tasks
+        free = GAScheduler(4, flat, rng, GAConfig(population_size=30))
+        free.add_task(0, 1000.0)
+        free.add_task(1, 1000.0)
+        chained = GAScheduler(
+            4, flat, np.random.default_rng(2003),
+            GAConfig(population_size=30),
+        )
+        chained.add_task(0, 1000.0)
+        chained.add_task(1, 1000.0, predecessors=[0])
+        free_cost = free.evolve(20, [0.0] * 4, 0.0)
+        chained_cost = chained.evolve(20, [0.0] * 4, 0.0)
+        assert chained_cost > free_cost
+
+    def test_floor_defers_the_start(self, rng):
+        ga = GAScheduler(2, const_duration(4.0), rng, GAConfig(population_size=20))
+        ga.add_task(0, 1000.0, floor=50.0)
+        baseline = GAScheduler(
+            2, const_duration(4.0), np.random.default_rng(2003),
+            GAConfig(population_size=20),
+        )
+        baseline.add_task(0, 1000.0)
+        # makespan measured from ref time 0 includes the staging delay
+        assert ga.evolve(5, [0.0] * 2, 0.0) > baseline.evolve(5, [0.0] * 2, 0.0)
+
+    def test_set_floor_is_monotonic(self, rng):
+        ga = GAScheduler(2, const_duration(4.0), rng, GAConfig(population_size=20))
+        ga.add_task(0, 1000.0, floor=50.0)
+        ga.set_floor(0, 10.0)  # lowering is ignored
+        assert ga.snapshot_state()["floors"] == [[0, 50.0]]
+        ga.set_floor(0, 75.0)
+        assert ga.snapshot_state()["floors"] == [[0, 75.0]]
+
+
+class TestSnapshotKeys:
+    def test_workflow_keys_absent_when_unused(self, rng):
+        ga = GAScheduler(4, const_duration(8.0), rng, GAConfig(population_size=20))
+        ga.add_task(0, 100.0)
+        state = ga.snapshot_state()
+        assert "priorities" not in state
+        assert "floors" not in state
+        assert "preds" not in state
+
+    def test_workflow_state_round_trips(self, rng):
+        ga = GAScheduler(4, const_duration(8.0), rng, GAConfig(population_size=20))
+        ga.add_task(0, 100.0, priority=9.0)
+        ga.add_task(1, 100.0, priority=4.0, floor=12.0, predecessors=[0])
+        state = ga.snapshot_state()
+        assert state["priorities"] == [9.0, 4.0]
+        assert state["floors"] == [[1, 12.0]]
+        assert state["preds"] == [[1, [0]]]
+
+        restored = GAScheduler(
+            4, const_duration(8.0), np.random.default_rng(2003),
+            GAConfig(population_size=20),
+        )
+        restored.restore_state(state)
+        assert restored.snapshot_state() == state
+        restored.evolve(2, [0.0] * 4, 0.0)
+        _orderings_respect(restored, [(0, 1)])

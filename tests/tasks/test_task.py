@@ -86,10 +86,21 @@ class TestTaskLifecycle:
         with pytest.raises(TaskStateError):
             task.mark_completed(2.0)
 
-    def test_cancel_running_rejected(self, make_request):
+    def test_cancel_running_allowed(self, make_request):
+        # Regression: RUNNING -> CANCELLED used to be rejected, making
+        # in-flight kills (workflow failure propagation) impossible.
         task = Task(0, make_request())
         task.mark_queued()
         task.mark_running(0.0, (0,), "S1")
+        task.mark_cancelled()
+        assert task.state is TaskState.CANCELLED
+        assert task.completion_time is None
+
+    def test_cancel_completed_rejected(self, make_request):
+        task = Task(0, make_request())
+        task.mark_queued()
+        task.mark_running(0.0, (0,), "S1")
+        task.mark_completed(1.0)
         with pytest.raises(TaskStateError):
             task.mark_cancelled()
 
